@@ -1,0 +1,254 @@
+package smrp
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (§4) plus the in-text claims and the design ablations. Each benchmark
+// prints the same rows/series the paper plots and reports the regeneration
+// cost. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-scale scenario counts (10 topologies × 10 member sets) are used
+// when -bench runs with -benchtime=1x or more; results land on stdout so
+// EXPERIMENTS.md can record paper-vs-measured values.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// paperScale are the scenario counts of §4.3.2–4.3.4: ten random topologies
+// and ten member sets per topology.
+const (
+	paperTopologies = 10
+	paperMemberSets = 10
+	benchSeed       = 2005 // the paper's year; fixed for reproducibility
+)
+
+// BenchmarkFig7 regenerates Figure 7: the local-vs-global detour scatter
+// over five random topologies (N=100, N_G=30, α=0.2, D_thresh=0.3) and the
+// in-text ≈33% average reduction.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\nFigure 7: points=%d below-diagonal=%.1f%% mean-reduction=%.1f%%\n",
+				len(res.Points), 100*res.BelowDiagonal, 100*res.MeanReduction)
+		}
+		b.ReportMetric(100*res.MeanReduction, "%reduction")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: the D_thresh sweep with 95% CIs over
+// 100 scenarios per point.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig8(paperTopologies, paperMemberSets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(100*res.Rows[2].RDRel.Mean, "%RDrel@0.3")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: the α / average-node-degree sweep.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig9(paperTopologies, paperMemberSets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(100*res.Rows[len(res.Rows)-1].RDRel.Mean, "%RDrel@hi-deg")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: the group-size sweep.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig10(paperTopologies, paperMemberSets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(100*res.Rows[len(res.Rows)-1].RDRel.Mean, "%RDrel@NG50")
+	}
+}
+
+// BenchmarkDegree10 regenerates the §4.3.3 in-text claim: ≈12% recovery-path
+// reduction persists when the average node degree approaches 10.
+func BenchmarkDegree10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunDegree10(paperTopologies, paperMemberSets/2, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.AvgDegree, "avg-degree")
+		b.ReportMetric(100*last.RDRel.Mean, "%RDrel")
+	}
+}
+
+// BenchmarkLatency regenerates the motivating claim at the message level:
+// restoration latency of local detours vs. reconvergence-gated rejoins on
+// the event-driven protocol implementations.
+func BenchmarkLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunLatency(10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(res.Speedup, "speedup-x")
+	}
+}
+
+// BenchmarkHierarchy regenerates the §3.3.3 architecture comparison:
+// recovery scope confined to one domain vs. the whole network.
+func BenchmarkHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunHierarchy(10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(res.ScopeFlat.Mean/res.ScopeHier.Mean, "scope-shrink-x")
+	}
+}
+
+// BenchmarkAblations regenerates the design-ablation table: local detour on
+// the SPF tree (tree shape vs. recovery strategy), the §3.3.1 query scheme,
+// §3.3.2 deferred SHR maintenance, and §3.2.3 reshaping variants — all
+// measured on identical scenario sets.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunAblations(5, 4, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		for _, row := range res.Rows {
+			if row.Name == "smrp-full" {
+				b.ReportMetric(100*row.RDRel.Mean, "%RDrel-full")
+			}
+		}
+	}
+}
+
+// BenchmarkChurn regenerates the reshaping-under-churn extension study
+// (§3.2.3's motivation measured end to end).
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunChurn(5, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(100*res.Rows[len(res.Rows)-1].RDRel.Mean, "%RDrel-reshaped")
+	}
+}
+
+// BenchmarkNLevel measures how recovery scope shrinks as hierarchy depth
+// grows (the §3.3.3 N-level generalization).
+func BenchmarkNLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunNLevel(10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(res.ScopeFlat.Mean/res.ScopeLeaf.Mean, "scope-shrink-x")
+	}
+}
+
+// BenchmarkProtection regenerates the related-work comparison: reactive
+// recovery (SMRP, SPF) vs preplanned protection (Médard redundant trees,
+// Han-Shin dependable connections) on biconnected topologies.
+func BenchmarkProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunProtection(10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(100*res.RedundantCoverage, "%redundant-coverage")
+		b.ReportMetric(res.CostRedundant.Mean, "redundant-cost-x")
+	}
+}
+
+// BenchmarkJoin measures the cost of a single SMRP join on the default
+// evaluation topology (the protocol's critical path).
+func BenchmarkJoin(b *testing.B) {
+	net, err := GenerateWaxman(100, 0.2, DefaultBeta, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sess, err := NewSession(net, 0, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := NewRNG(uint64(i))
+		members := rng.Sample(99, 30)
+		b.StartTimer()
+		for _, m := range members {
+			if _, err := sess.Join(NodeID(m + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLocalDetour measures the recovery-path computation itself.
+func BenchmarkLocalDetour(b *testing.B) {
+	net, err := GenerateWaxman(100, 0.2, DefaultBeta, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := NewSession(net, 0, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := NewRNG(benchSeed)
+	for _, m := range rng.Sample(99, 30) {
+		if _, err := sess.Join(NodeID(m + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	members := sess.Tree().Members()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := members[i%len(members)]
+		f, err := WorstCaseFor(sess.Tree(), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, _ = LocalDetour(sess.Tree(), f.Mask(), m)
+	}
+}

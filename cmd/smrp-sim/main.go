@@ -1,0 +1,153 @@
+// Command smrp-sim regenerates the paper's evaluation figures and the
+// repository's extension studies.
+//
+// Usage:
+//
+//	smrp-sim -fig 7                    # Figure 7 scatter + summary
+//	smrp-sim -fig 8 -topos 10 -sets 10 # Figure 8 at paper scale
+//	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
+//
+// Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smrp/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smrp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|all")
+		topos = fs.Int("topos", 10, "random topologies per sweep point")
+		sets  = fs.Int("sets", 10, "member sets per topology")
+		runs  = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
+		seed  = fs.Uint64("seed", 2005, "base RNG seed")
+		csv   = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var csvOut *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+	ran := false
+
+	if want("7") {
+		ran = true
+		res, err := experiment.RunFig7(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if csvOut != nil {
+			if err := res.WriteCSV(csvOut); err != nil {
+				return err
+			}
+		}
+	}
+	type sweep struct {
+		name string
+		run  func(int, int, uint64) (*experiment.SweepResult, error)
+	}
+	for _, s := range []sweep{
+		{name: "8", run: experiment.RunFig8},
+		{name: "9", run: experiment.RunFig9},
+		{name: "10", run: experiment.RunFig10},
+		{name: "degree10", run: experiment.RunDegree10},
+	} {
+		if !want(s.name) {
+			continue
+		}
+		ran = true
+		res, err := s.run(*topos, *sets, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if csvOut != nil {
+			if err := res.WriteCSV(csvOut); err != nil {
+				return err
+			}
+		}
+	}
+	if want("latency") {
+		ran = true
+		res, err := experiment.RunLatency(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("hierarchy") {
+		ran = true
+		res, err := experiment.RunHierarchy(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("ablations") {
+		ran = true
+		res, err := experiment.RunAblations(*topos/2, *sets/2, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if csvOut != nil {
+			if err := res.WriteCSV(csvOut); err != nil {
+				return err
+			}
+		}
+	}
+	if want("churn") {
+		ran = true
+		res, err := experiment.RunChurn(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("nlevel") {
+		ran = true
+		res, err := experiment.RunNLevel(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if want("protection") {
+		ran = true
+		res, err := experiment.RunProtection(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+// TestRunFig7Small executes the smallest real experiment end to end,
+// including CSV output.
+func TestRunFig7Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"-fig", "7", "-seed", "3", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "global_rd,local_rd") {
+		t.Errorf("csv = %q", string(data)[:40])
+	}
+}
+
+func TestRunHierarchySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	if err := run([]string{"-fig", "hierarchy", "-runs", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Command smrp-trace runs one failure/recovery scenario on the event-driven
+// protocol implementations and prints the full timeline: joins, the failure,
+// per-member detection and restoration, and a before/after data-delivery
+// check — the per-scenario view behind the aggregate experiments.
+//
+// Usage:
+//
+//	smrp-trace -n 60 -members 10 -seed 7
+//	smrp-trace -protocol spf -dthresh 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"smrp/internal/core"
+	"smrp/internal/eventsim"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/protocol"
+	"smrp/internal/topology"
+	"smrp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smrp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("smrp-trace", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 60, "network size")
+		nMembers = fs.Int("members", 10, "group size")
+		alpha    = fs.Float64("alpha", 0.4, "Waxman alpha")
+		dthresh  = fs.Float64("dthresh", 0.3, "SMRP D_thresh")
+		seed     = fs.Uint64("seed", 7, "RNG seed")
+		proto    = fs.String("protocol", "smrp", "protocol to trace: smrp|spf")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := topology.NewRNG(*seed)
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		N: *n, Alpha: *alpha, Beta: topology.DefaultBeta, EnsureConnected: true,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %v\n", topology.Describe(g))
+
+	// Root at a well-connected node.
+	source := graph.NodeID(0)
+	for i := 1; i < g.NumNodes(); i++ {
+		if g.Degree(graph.NodeID(i)) > g.Degree(source) {
+			source = graph.NodeID(i)
+		}
+	}
+	var members []graph.NodeID
+	for _, id := range rng.Sample(*n, *nMembers+1) {
+		if graph.NodeID(id) != source && len(members) < *nMembers {
+			members = append(members, graph.NodeID(id))
+		}
+	}
+	fmt.Printf("source: %d, members: %v\n\n", source, members)
+
+	cfg := protocol.DefaultConfig()
+	cfg.SMRP = core.DefaultConfig()
+	cfg.SMRP.DThresh = *dthresh
+
+	switch *proto {
+	case "smrp":
+		return traceSMRP(g, source, members, cfg)
+	case "spf":
+		return traceSPF(g, source, members, cfg)
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+}
+
+func traceSMRP(g *graph.Graph, source graph.NodeID, members []graph.NodeID, cfg protocol.Config) error {
+	inst, err := protocol.NewSMRPInstance(g, source, cfg)
+	if err != nil {
+		return err
+	}
+	log := trace.New(0)
+	inst.SetTrace(log)
+	for k, m := range members {
+		if err := inst.ScheduleJoin(eventsim.Time(k+1), m); err != nil {
+			return err
+		}
+	}
+	if err := inst.Run(100); err != nil {
+		return err
+	}
+	fmt.Printf("t=100  tree built: %d nodes, %d members\n",
+		inst.Session().Tree().NumNodes(), inst.Session().Tree().NumMembers())
+	printDelivery("      pre-failure delivery", inst.Multicast())
+
+	victim := members[0]
+	f, err := failure.WorstCaseFor(inst.Session().Tree(), victim)
+	if err != nil {
+		return err
+	}
+	disconnected := failure.DisconnectedMembers(inst.Session().Tree(), f.Mask())
+	fmt.Printf("t=150  inject worst-case failure for member %d: %v (disconnects %v)\n", victim, f, disconnected)
+	if err := inst.InjectFailure(150, f); err != nil {
+		return err
+	}
+	if err := inst.Run(1000); err != nil {
+		return err
+	}
+	printRestorations(inst.Restorations(), len(disconnected))
+	printDelivery("      post-recovery delivery", inst.Multicast())
+	fmt.Printf("      control messages sent: %d\n", inst.Network().Sent)
+	fmt.Printf("\nprotocol event log (%s):\n%s", log.Summary(), log.String())
+	return inst.Session().Tree().Validate()
+}
+
+func traceSPF(g *graph.Graph, source graph.NodeID, members []graph.NodeID, cfg protocol.Config) error {
+	inst, err := protocol.NewSPFInstance(g, source, cfg)
+	if err != nil {
+		return err
+	}
+	log := trace.New(0)
+	inst.SetTrace(log)
+	for k, m := range members {
+		if err := inst.ScheduleJoin(eventsim.Time(k+1), m); err != nil {
+			return err
+		}
+	}
+	if err := inst.Run(100); err != nil {
+		return err
+	}
+	fmt.Printf("t=100  tree built: %d nodes, %d members\n",
+		inst.Session().Tree().NumNodes(), inst.Session().Tree().NumMembers())
+	printDelivery("      pre-failure delivery", inst.Multicast())
+
+	victim := members[0]
+	f, err := failure.WorstCaseFor(inst.Session().Tree(), victim)
+	if err != nil {
+		return err
+	}
+	disconnected := failure.DisconnectedMembers(inst.Session().Tree(), f.Mask())
+	fmt.Printf("t=150  inject worst-case failure for member %d: %v (disconnects %v)\n", victim, f, disconnected)
+	if err := inst.InjectFailure(150, f); err != nil {
+		return err
+	}
+	if err := inst.Run(1000); err != nil {
+		return err
+	}
+	printRestorations(inst.Restorations(), len(disconnected))
+	printDelivery("      post-recovery delivery", inst.Multicast())
+	fmt.Printf("      control messages sent: %d\n", inst.Network().Sent)
+	fmt.Printf("\nprotocol event log (%s):\n%s", log.Summary(), log.String())
+	return inst.Session().Tree().Validate()
+}
+
+func printRestorations(rs []protocol.Restoration, disconnected int) {
+	if len(rs) < disconnected {
+		fmt.Printf("      %d of %d disconnected members were unrecoverable (failure was a cut edge)\n",
+			disconnected-len(rs), disconnected)
+	}
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Println("      restorations:")
+	for _, r := range rs {
+		fmt.Printf("        member %-4d detected t=%-8.3f restored t=%-8.3f latency %-8.3f RD %.3f\n",
+			r.Member, r.DetectedAt, r.RestoredAt, r.Latency, r.RecoveryDistance)
+	}
+}
+
+func printDelivery(label string, d map[graph.NodeID]eventsim.Time) {
+	type kv struct {
+		m graph.NodeID
+		t eventsim.Time
+	}
+	rows := make([]kv, 0, len(d))
+	for m, t := range d {
+		rows = append(rows, kv{m: m, t: t})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].m < rows[j].m })
+	fmt.Printf("%s: %d members reached\n", label, len(rows))
+	for _, r := range rows {
+		fmt.Printf("        member %-4d +%.3f\n", r.m, r.t)
+	}
+}

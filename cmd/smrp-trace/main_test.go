@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSMRPTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	if err := run([]string{"-n", "40", "-members", "4", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSPFTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	if err := run([]string{"-n", "40", "-members", "4", "-seed", "9", "-protocol", "spf"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-protocol", "bogus"}); err == nil {
+		t.Error("unknown protocol should error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,111 @@
+// Hierarchy: the paper's §3.3.3 recovery architecture on a transit–stub
+// internetwork. Receivers are clustered into stub recovery domains, each
+// with an agent relaying from the level-0 core tree; a link failure inside
+// one stub is recovered entirely inside that domain, leaving every other
+// domain (and the core) untouched.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smrp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ts, err := smrp.GenerateTransitStub(smrp.DefaultTransitStubConfig(), 19)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transit–stub network: %s\n", smrp.DescribeTopology(ts.Graph))
+	fmt.Printf("  %d-node transit core, %d stub domains of %d nodes each\n",
+		len(ts.Transit.Nodes), len(ts.Stubs), len(ts.Stubs[0].Nodes))
+
+	// Source inside the first stub domain.
+	var src smrp.NodeID = smrp.Invalid
+	for _, n := range ts.Stubs[0].Nodes {
+		if n != ts.Stubs[0].Gateway {
+			src = n
+			break
+		}
+	}
+	sess, err := smrp.NewHierarchicalSession(ts, src, smrp.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// Two receivers per stub domain.
+	joined := 0
+	for i := range ts.Stubs {
+		count := 0
+		for _, n := range ts.Stubs[i].Nodes {
+			if n == ts.Stubs[i].Gateway || n == src {
+				continue
+			}
+			if err := sess.Join(n); err != nil {
+				return err
+			}
+			joined++
+			if count++; count == 2 {
+				break
+			}
+		}
+	}
+	fmt.Printf("source %d (stub %d), %d receivers across %d domains\n\n",
+		src, ts.Stubs[0].ID, joined, len(ts.Stubs))
+
+	for _, m := range sess.Members() {
+		d, err := sess.EndToEndDelay(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  receiver %-4d domain %-2d end-to-end delay %.3f\n",
+			m, ts.DomainOf(m).ID, d)
+	}
+
+	// Fail the worst-case link for a receiver in a non-source stub.
+	var victim smrp.NodeID = smrp.Invalid
+	var victimDomain int
+	for _, m := range sess.Members() {
+		if d := ts.DomainOf(m); d.ID != ts.Stubs[0].ID {
+			victim, victimDomain = m, d.ID
+			break
+		}
+	}
+	stubSess, nm, err := sess.StubTree(victimDomain)
+	if err != nil {
+		return err
+	}
+	sub, _ := nm.ToSub(victim)
+	fSub, err := smrp.WorstCaseFor(stubSess.Tree(), sub)
+	if err != nil {
+		return err
+	}
+	a, _ := nm.ToFull(fSub.Edge.A)
+	b, _ := nm.ToFull(fSub.Edge.B)
+	f := smrp.LinkDown(a, b)
+	fmt.Printf("\ninjecting %v inside stub domain %d (victim receiver %d)\n", f, victimDomain, victim)
+
+	rep, err := sess.Recover(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery handled at level %d, domain %d\n", rep.Level, rep.DomainID)
+	fmt.Printf("  reconfiguration scope: %d nodes (network has %d — %.0f%% untouched)\n",
+		rep.NodesInDomain, ts.Graph.NumNodes(),
+		100*(1-float64(rep.NodesInDomain)/float64(ts.Graph.NumNodes())))
+	fmt.Printf("  members re-grafted inside the domain: %d, total RD %.3f\n",
+		len(rep.Heal.RecoveryDistance), rep.Heal.TotalRecoveryDistance())
+	if len(rep.Heal.Unrecovered) > 0 {
+		fmt.Printf("  unrecoverable inside the domain (cut edge): %v\n", rep.Heal.Unrecovered)
+	}
+	return sess.Validate()
+}

@@ -1,0 +1,92 @@
+// Reshaping: a step-by-step replay of the paper's worked example
+// (Figures 4 and 5) on the exact fixture topology: members E, G and F join
+// under D_thresh = 0.3, and F's arrival triggers Condition-I tree reshaping
+// at E, which switches from the crowded D branch to the fresh C branch.
+//
+//	go run ./examples/reshaping
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"smrp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net, err := smrp.PaperFig4()
+	if err != nil {
+		return err
+	}
+	names := smrp.Fig4Nodes
+	name := func(n smrp.NodeID) string { return names[n] }
+
+	sess, err := smrp.NewSession(net, 0, smrp.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4/5 walkthrough (D_thresh = 0.3)")
+	fmt.Println("=======================================")
+
+	joinOrder := []smrp.NodeID{4, 5, 6} // E, G, F
+	for _, m := range joinOrder {
+		res, err := sess.Join(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s joins:\n", name(m))
+		fmt.Printf("  selected path  : %s\n", renderPath(res.Connection, name))
+		fmt.Printf("  merger         : %s (SHR %d)\n", name(res.Merger), res.MergerSHR)
+		fmt.Printf("  delay          : %.2f (unicast SPF %.2f, bound %.2f)\n",
+			res.Delay, res.SPFDelay, 1.3*res.SPFDelay)
+		if len(res.Reshaped) > 0 {
+			for _, r := range res.Reshaped {
+				p, _ := sess.Tree().PathToSource(r)
+				fmt.Printf("  ⟳ Condition I reshaped %s onto %s\n", name(r), renderPath(p, name))
+			}
+		}
+		printSHR(sess, name)
+	}
+
+	fmt.Println("\nFinal tree (matches the paper's Figure 5(d)):")
+	for _, m := range sess.Tree().Members() {
+		p, err := sess.Tree().PathToSource(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s: %s\n", name(m), renderPath(p, name))
+	}
+	return sess.Tree().Validate()
+}
+
+func renderPath(p smrp.Path, name func(smrp.NodeID) string) string {
+	out := ""
+	for i, n := range p {
+		if i > 0 {
+			out += "→"
+		}
+		out += name(n)
+	}
+	return out
+}
+
+func printSHR(sess *smrp.Session, name func(smrp.NodeID) string) {
+	snap := sess.SHRSnapshot()
+	ids := make([]smrp.NodeID, 0, len(snap))
+	for n := range snap {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("  SHR            :")
+	for _, n := range ids {
+		fmt.Printf(" %s=%d", name(n), snap[n])
+	}
+	fmt.Println()
+}

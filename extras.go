@@ -1,0 +1,144 @@
+package smrp
+
+import (
+	"smrp/internal/eventsim"
+	"smrp/internal/experiment"
+	"smrp/internal/hierarchy"
+	"smrp/internal/metrics"
+	"smrp/internal/protocol"
+	"smrp/internal/routing"
+	"smrp/internal/topology"
+	"smrp/internal/trace"
+)
+
+// Tracing aliases: structured event logs for protocol runs.
+type (
+	// TraceLog records protocol events (joins, failures, recoveries) with
+	// virtual timestamps; install via SMRPInstance.SetTrace.
+	TraceLog = trace.Log
+	// TraceEntry is one recorded protocol event.
+	TraceEntry = trace.Entry
+)
+
+// NewTraceLog returns an event log bounded to capacity entries (0 =
+// unbounded).
+func NewTraceLog(capacity int) *TraceLog { return trace.New(capacity) }
+
+// Event-driven protocol aliases (the ns2-equivalent message-level layer).
+type (
+	// SimTime is virtual simulation time (edge-weight units).
+	SimTime = eventsim.Time
+	// ProtocolConfig parameterizes the message-level protocol instances.
+	ProtocolConfig = protocol.Config
+	// SMRPInstance is an event-driven SMRP session.
+	SMRPInstance = protocol.SMRPInstance
+	// SPFInstance is an event-driven SPF baseline session.
+	SPFInstance = protocol.SPFInstance
+	// Restoration records one member's recovery timing.
+	Restoration = protocol.Restoration
+	// RoutingConfig models unicast reconvergence timing.
+	RoutingConfig = routing.Config
+)
+
+// DefaultProtocolConfig returns the message-level protocol defaults.
+func DefaultProtocolConfig() ProtocolConfig { return protocol.DefaultConfig() }
+
+// NewSMRPInstance builds an event-driven SMRP protocol instance.
+func NewSMRPInstance(net *Network, source NodeID, cfg ProtocolConfig) (*SMRPInstance, error) {
+	return protocol.NewSMRPInstance(net, source, cfg)
+}
+
+// NewSPFInstance builds an event-driven SPF baseline instance.
+func NewSPFInstance(net *Network, source NodeID, cfg ProtocolConfig) (*SPFInstance, error) {
+	return protocol.NewSPFInstance(net, source, cfg)
+}
+
+// Hierarchical recovery aliases (§3.3.3).
+type (
+	// HierarchicalSession runs SMRP per recovery domain over a transit–stub
+	// topology, confining failures to the domain where they occur.
+	HierarchicalSession = hierarchy.Session
+	// DomainRecoveryReport describes a domain-confined recovery.
+	DomainRecoveryReport = hierarchy.RecoveryReport
+	// NLevelSession generalizes the recovery architecture to N levels.
+	NLevelSession = hierarchy.NLevelSession
+	// NLevelTopology is an N-level hierarchical network.
+	NLevelTopology = topology.NLevelTopology
+	// NLevelConfig parameterizes the N-level generator.
+	NLevelConfig = topology.NLevelConfig
+)
+
+// NewHierarchicalSession builds a hierarchical SMRP session over ts with
+// the true multicast source at src (inside a stub domain).
+func NewHierarchicalSession(ts *TransitStub, src NodeID, cfg Config) (*HierarchicalSession, error) {
+	return hierarchy.New(ts, src, cfg)
+}
+
+// GenerateNLevel builds an N-level hierarchical network.
+func GenerateNLevel(cfg NLevelConfig, seed uint64) (*NLevelTopology, error) {
+	return topology.GenerateNLevel(cfg, topology.NewRNG(seed))
+}
+
+// DefaultNLevelConfig returns a 3-level hierarchy configuration.
+func DefaultNLevelConfig() NLevelConfig { return topology.DefaultNLevelConfig() }
+
+// NewNLevelSession builds an N-level hierarchical SMRP session.
+func NewNLevelSession(t *NLevelTopology, src NodeID, cfg Config) (*NLevelSession, error) {
+	return hierarchy.NewNLevel(t, src, cfg)
+}
+
+// Statistics aliases.
+type (
+	// MetricSample accumulates observations.
+	MetricSample = metrics.Sample
+	// MetricSummary is mean/std/CI95/min/max of a sample.
+	MetricSummary = metrics.Summary
+)
+
+// Experiment-harness aliases: each Run* regenerates one piece of the
+// paper's evaluation (see EXPERIMENTS.md for the index).
+type (
+	// ExperimentBase is the shared N/N_G/α/D_thresh setup.
+	ExperimentBase = experiment.Base
+	// Fig7Result is the local-vs-global detour scatter (§4.3.1).
+	Fig7Result = experiment.Fig7Result
+	// SweepResult is a Figure 8/9/10-style parameter sweep.
+	SweepResult = experiment.SweepResult
+	// AblationResult is the design-ablation study.
+	AblationResult = experiment.AblationResult
+	// LatencyResult is the message-level restoration-latency comparison.
+	LatencyResult = experiment.LatencyResult
+	// HierResult is the hierarchical-recovery comparison.
+	HierResult = experiment.HierResult
+	// ChurnResult is the reshaping-under-churn study.
+	ChurnResult = experiment.ChurnResult
+	// NLevelResult is the N-level recovery-scope study.
+	NLevelResult = experiment.NLevelResult
+)
+
+// Experiment runners.
+var (
+	// RunFig7 reproduces Figure 7 (5 topologies, default parameters).
+	RunFig7 = experiment.RunFig7
+	// RunFig8 reproduces Figure 8 (the D_thresh sweep).
+	RunFig8 = experiment.RunFig8
+	// RunFig9 reproduces Figure 9 (the α / node-degree sweep).
+	RunFig9 = experiment.RunFig9
+	// RunFig10 reproduces Figure 10 (the group-size sweep).
+	RunFig10 = experiment.RunFig10
+	// RunDegree10 reproduces the §4.3.3 in-text high-connectivity study.
+	RunDegree10 = experiment.RunDegree10
+	// RunAblations executes the design ablations from DESIGN.md.
+	RunAblations = experiment.RunAblations
+	// RunLatency measures restoration latency on the event-driven protocols.
+	RunLatency = experiment.RunLatency
+	// RunHierarchy compares hierarchical and flat recovery scope.
+	RunHierarchy = experiment.RunHierarchy
+	// RunChurn studies reshaping under membership churn (§3.2.3).
+	RunChurn = experiment.RunChurn
+	// RunNLevel measures recovery-scope shrink under N-level hierarchies.
+	RunNLevel = experiment.RunNLevel
+)
+
+// DefaultExperimentBase returns the paper's default evaluation setup.
+func DefaultExperimentBase() ExperimentBase { return experiment.DefaultBase() }

@@ -1,0 +1,3 @@
+module smrp
+
+go 1.22

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"smrp/internal/graph"
+	"smrp/internal/multicast"
+)
+
+// Candidate is one admissible way for a joining node to connect to the
+// multicast tree: merge at on-tree node Merger via Connection.
+type Candidate struct {
+	// Merger is the on-tree node where the new path merges into the tree
+	// (R_i in the paper).
+	Merger graph.NodeID
+	// Connection is the off-tree path from Merger to the joining node;
+	// Connection[0] == Merger, Connection[len-1] == joiner.
+	Connection graph.Path
+	// ConnDelay is the total weight of Connection.
+	ConnDelay float64
+	// TotalDelay is the end-to-end delay of the candidate multicast path:
+	// on-tree delay S→Merger plus ConnDelay (D^{R_i}_{S,NR}).
+	TotalDelay float64
+	// SHR is SHR(S, Merger) at selection time.
+	SHR int
+}
+
+// delayEps absorbs floating-point noise in delay-bound comparisons.
+const delayEps = 1e-9
+
+// enumerateFull generates one candidate per on-tree node R: the shortest
+// path from R to joiner that avoids every *other* on-tree node (so the
+// candidate genuinely merges at R), realizing the paper's "all possible
+// paths connecting to the current tree" under footnote 4 (only the shortest
+// connection per merger is considered).
+//
+// extraMask additionally blocks nodes/edges (used by reshaping to keep the
+// member's own subtree out of the new path). The joiner must be off-tree.
+func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]int, extraMask *graph.Mask) []Candidate {
+	g := t.Graph()
+	treeNodes := t.Nodes()
+	out := make([]Candidate, 0, len(treeNodes))
+	for _, merger := range treeNodes {
+		if extraMask.NodeBlocked(merger) {
+			continue
+		}
+		mask := extraMask.Clone()
+		for _, n := range treeNodes {
+			if n != merger {
+				mask.BlockNode(n)
+			}
+		}
+		conn, d := g.ShortestPath(merger, joiner, mask)
+		if conn == nil {
+			continue
+		}
+		treeDelay, err := t.DelayTo(merger)
+		if err != nil {
+			continue
+		}
+		out = append(out, Candidate{
+			Merger:     merger,
+			Connection: conn,
+			ConnDelay:  d,
+			TotalDelay: treeDelay + d,
+			SHR:        shr[merger],
+		})
+	}
+	return out
+}
+
+// enumerateQuery generates candidates via the query scheme of §3.3.1: the
+// joiner asks each of its graph neighbors to relay a query along the
+// neighbor's unicast shortest path toward the source; the first on-tree node
+// met answers with its SHR and becomes a candidate merger. Coverage is
+// partial by design — the scheme trades optimality for not needing topology
+// knowledge. Each relayed query increments stats.QueryMessages.
+func enumerateQuery(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]int, extraMask *graph.Mask, stats *Stats) []Candidate {
+	g := t.Graph()
+	src := t.Source()
+	best := make(map[graph.NodeID]Candidate)
+	for _, arc := range g.Neighbors(joiner) {
+		v := arc.To
+		if extraMask.NodeBlocked(v) || extraMask.EdgeBlocked(joiner, v) {
+			continue
+		}
+		stats.QueryMessages++
+		// The neighbor's own unicast shortest path toward the source.
+		spf, _ := g.ShortestPath(v, src, extraMask)
+		if spf == nil {
+			continue
+		}
+		// Walk toward the source until the first on-tree node.
+		var merger graph.NodeID = graph.Invalid
+		var relay graph.Path
+		for _, n := range spf {
+			relay = append(relay, n)
+			if t.OnTree(n) {
+				merger = n
+				break
+			}
+		}
+		if merger == graph.Invalid {
+			continue
+		}
+		// Candidate connection runs merger → ... → neighbor → joiner.
+		conn := append(relay.Reverse(), joiner)
+		if !conn.IsSimple() {
+			continue // joiner already appears on the relayed prefix
+		}
+		cd, err := conn.Weight(g)
+		if err != nil {
+			continue
+		}
+		treeDelay, err := t.DelayTo(merger)
+		if err != nil {
+			continue
+		}
+		cand := Candidate{
+			Merger:     merger,
+			Connection: conn,
+			ConnDelay:  cd,
+			TotalDelay: treeDelay + cd,
+			SHR:        shr[merger],
+		}
+		if prev, ok := best[merger]; !ok || cand.TotalDelay < prev.TotalDelay {
+			best[merger] = cand
+		}
+	}
+	out := make([]Candidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Merger < out[j].Merger })
+	return out
+}
+
+// selectCandidate applies the paper's Path Selection Criterion: among
+// candidates whose TotalDelay is within (1+DThresh)·spfDelay, pick the one
+// with minimum SHR; break ties on TotalDelay, then on merger ID for
+// determinism. When no candidate meets the bound the minimum-delay candidate
+// is returned with withinBound=false — a member must still be able to join
+// (the paper leaves this corner unspecified; falling back to the fastest
+// available path is the SPF-like behaviour).
+func selectCandidate(cands []Candidate, spfDelay, dThresh float64) (Candidate, bool) {
+	bound := (1 + dThresh) * spfDelay
+	bestFeasible, haveFeasible := Candidate{}, false
+	bestAny, haveAny := Candidate{}, false
+	for _, c := range cands {
+		if !haveAny || less(c, bestAny, true) {
+			bestAny, haveAny = c, true
+		}
+		if c.TotalDelay <= bound+delayEps {
+			if !haveFeasible || less(c, bestFeasible, false) {
+				bestFeasible, haveFeasible = c, true
+			}
+		}
+	}
+	if haveFeasible {
+		return bestFeasible, true
+	}
+	return bestAny, false
+}
+
+// less orders candidates: by delay first when delayFirst (used by the
+// fallback), otherwise by SHR, then delay, then merger ID.
+func less(a, b Candidate, delayFirst bool) bool {
+	if delayFirst {
+		if a.TotalDelay != b.TotalDelay {
+			return a.TotalDelay < b.TotalDelay
+		}
+		return a.Merger < b.Merger
+	}
+	if a.SHR != b.SHR {
+		return a.SHR < b.SHR
+	}
+	if a.TotalDelay != b.TotalDelay {
+		return a.TotalDelay < b.TotalDelay
+	}
+	return a.Merger < b.Merger
+}

@@ -1,0 +1,139 @@
+// Package core implements SMRP, the Survivable Multicast Routing Protocol of
+// Wu & Shin (DSN 2005): multicast tree construction that minimizes path
+// sharing (the SHR metric) subject to a bounded end-to-end delay
+// ((1+D_thresh)·SPF), plus member join/leave, tree reshaping, and
+// local-detour failure recovery.
+//
+// The package exposes an algorithmic, synchronous Session; the message-level
+// protocol driven by the discrete-event simulator lives in
+// internal/protocol and delegates its decisions to this package.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Knowledge selects how a joining member learns about on-tree nodes
+// (§3.3.1 of the paper).
+type Knowledge int
+
+// Knowledge modes. Enum starts at 1 so the zero value is caught by
+// validation.
+const (
+	// FullTopology assumes every member knows the network topology and can
+	// enumerate all candidate paths (the paper's base assumption, §3.2.2).
+	FullTopology Knowledge = iota + 1
+	// QueryScheme uses the neighbor-relayed query of §3.3.1: each neighbor
+	// forwards a query along its unicast shortest path to the source and the
+	// first on-tree node hit answers with its SHR. Candidates are partial,
+	// so path selection may be suboptimal.
+	QueryScheme
+)
+
+// String implements fmt.Stringer.
+func (k Knowledge) String() string {
+	switch k {
+	case FullTopology:
+		return "full-topology"
+	case QueryScheme:
+		return "query-scheme"
+	default:
+		return fmt.Sprintf("Knowledge(%d)", int(k))
+	}
+}
+
+// SHRMode selects how SHR values are maintained (§3.3.2).
+type SHRMode int
+
+// SHR maintenance modes. Enum starts at 1 so the zero value is caught by
+// validation.
+const (
+	// EagerSHR propagates SHR updates tree-wide on every membership change.
+	EagerSHR SHRMode = iota + 1
+	// DeferredSHR recomputes SHR values only when a join/reshape actually
+	// needs them, amortizing maintenance into the join process.
+	DeferredSHR
+)
+
+// String implements fmt.Stringer.
+func (m SHRMode) String() string {
+	switch m {
+	case EagerSHR:
+		return "eager"
+	case DeferredSHR:
+		return "deferred"
+	default:
+		return fmt.Sprintf("SHRMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an SMRP session.
+type Config struct {
+	// DThresh bounds candidate path length: a candidate is admissible when
+	// its end-to-end delay is at most (1+DThresh) times the unicast
+	// shortest-path delay between source and the joining member. 0 degrades
+	// SMRP to pure SPF joins.
+	DThresh float64
+
+	// ReshapeDelta is the Condition-I trigger threshold: a member initiates
+	// reshaping once the SHR of its upstream node has grown by more than
+	// ReshapeDelta since the member's last (re)selection. <= 0 disables
+	// Condition I.
+	ReshapeDelta int
+
+	// PeriodicReshape enables Condition II: Session.ReshapeAll re-runs path
+	// selection for every member (the protocol layer drives this from a
+	// timer).
+	PeriodicReshape bool
+
+	// Knowledge selects full-topology or query-scheme candidate discovery.
+	Knowledge Knowledge
+
+	// SHRMode selects eager or deferred SHR maintenance.
+	SHRMode SHRMode
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: D_thresh = 0.3, Condition I with a delta of 2 (the Figure-5
+// example triggers on an increase of 2), full topology knowledge, eager SHR.
+func DefaultConfig() Config {
+	return Config{
+		DThresh:         0.3,
+		ReshapeDelta:    2,
+		PeriodicReshape: true,
+		Knowledge:       FullTopology,
+		SHRMode:         EagerSHR,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.DThresh < 0 {
+		return fmt.Errorf("core: DThresh = %v must be non-negative", c.DThresh)
+	}
+	switch c.Knowledge {
+	case FullTopology, QueryScheme:
+	default:
+		return errors.New("core: Knowledge must be FullTopology or QueryScheme")
+	}
+	switch c.SHRMode {
+	case EagerSHR, DeferredSHR:
+	default:
+		return errors.New("core: SHRMode must be EagerSHR or DeferredSHR")
+	}
+	return nil
+}
+
+// Stats counts protocol work performed by a session; the overhead ablations
+// (§3.3.2) compare these across configurations.
+type Stats struct {
+	Joins          int // successful member joins
+	Leaves         int // successful member departures
+	Reshapes       int // path switches actually performed
+	ReshapeChecks  int // reshaping evaluations (triggered or periodic)
+	SHRUpdates     int // per-node SHR writes under eager maintenance
+	SHRComputes    int // on-demand SHR evaluations under deferred maintenance
+	QueryMessages  int // query-scheme messages sent (neighbor relays)
+	CandidatesSeen int // total candidates examined during path selections
+}

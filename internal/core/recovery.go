@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+)
+
+// HealReport describes how a session recovered from a failure.
+type HealReport struct {
+	// Failure is the event that was healed.
+	Failure failure.Failure
+	// Disconnected lists the members the failure cut off, ascending.
+	Disconnected []graph.NodeID
+	// RecoveryDistance maps each recovered member to the weight of its
+	// local detour (the paper's RD_R).
+	RecoveryDistance map[graph.NodeID]float64
+	// Detours maps each recovered member to its detour path
+	// (member → … → reattachment point).
+	Detours map[graph.NodeID]graph.Path
+	// Unrecovered lists members for which no residual path existed.
+	Unrecovered []graph.NodeID
+	// Pruned lists stale relays reclaimed after recovery (soft-state expiry).
+	Pruned []graph.NodeID
+}
+
+// TotalRecoveryDistance sums RD over recovered members.
+func (r *HealReport) TotalRecoveryDistance() float64 {
+	var total float64
+	for _, d := range r.RecoveryDistance {
+		total += d
+	}
+	return total
+}
+
+// FlushDead removes all tree state cut off from the source by the mask
+// (every maximal dead subtree), returning the members that lost their
+// branch. Surviving relays are kept even if childless — their soft state has
+// not expired and they remain local-detour targets. The protocol layer calls
+// this at failure-detection time and re-grafts members individually.
+func (s *Session) FlushDead(mask *graph.Mask) ([]graph.NodeID, error) {
+	surviving := failure.SurvivingNodes(s.tree, mask)
+	if len(surviving) == 0 {
+		return nil, failure.ErrSourceFailed
+	}
+	disconnected := failure.DisconnectedMembers(s.tree, mask)
+	var deadRoots []graph.NodeID
+	for _, n := range s.tree.Nodes() {
+		if surviving[n] || n == s.tree.Source() {
+			continue
+		}
+		p, ok := s.tree.Parent(n)
+		if ok && (p == graph.Invalid || surviving[p]) {
+			deadRoots = append(deadRoots, n)
+		}
+	}
+	for _, r := range deadRoots {
+		if !s.tree.OnTree(r) {
+			continue
+		}
+		if err := s.tree.DetachSubtree(r); err != nil {
+			return nil, fmt.Errorf("flush dead: %w", err)
+		}
+	}
+	for _, m := range disconnected {
+		delete(s.lastUpSHR, m)
+	}
+	s.shr.refresh(s.tree)
+	return disconnected, nil
+}
+
+// RecoverGraft grafts a local-detour path (reattachment point → … → member)
+// produced by failure recovery and restores the session bookkeeping for the
+// recovered member.
+func (s *Session) RecoverGraft(p graph.Path) error {
+	if err := s.tree.Graft(p, true); err != nil {
+		return err
+	}
+	s.shr.refresh(s.tree)
+	s.recordUpSHR(p.Last())
+	return nil
+}
+
+// Heal restores the session after the given failure using SMRP's local
+// detours: dead tree state below the failure is flushed, then each
+// disconnected member reconnects to the nearest unaffected on-tree node,
+// nearest member first (each reconnection enlarges the live tree, modeling
+// neighbor-assisted recovery). Surviving relays whose branches died are kept
+// as detour targets during recovery and pruned afterwards.
+//
+// The failed component remains failed: subsequent operations on the session
+// should treat the underlying graph as degraded (pass the same mask).
+func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
+	mask := f.Mask()
+	disconnected, err := s.FlushDead(mask)
+	if err != nil {
+		return nil, err
+	}
+	rep := &HealReport{
+		Failure:          f,
+		Disconnected:     disconnected,
+		RecoveryDistance: make(map[graph.NodeID]float64),
+		Detours:          make(map[graph.NodeID]graph.Path),
+	}
+
+	// Reconnect members nearest-first, letting the live tree grow.
+	remaining := make(map[graph.NodeID]bool, len(rep.Disconnected))
+	for _, m := range rep.Disconnected {
+		remaining[m] = true
+	}
+	accept := func(n graph.NodeID) bool {
+		return s.tree.OnTree(n) && !mask.NodeBlocked(n)
+	}
+	for len(remaining) > 0 {
+		bestD := math.Inf(1)
+		var bestM graph.NodeID = graph.Invalid
+		var bestPath graph.Path
+		for m := range remaining {
+			p, d := graph.Path(nil), math.Inf(1)
+			_, p, d = s.g.NearestOf(m, mask, accept)
+			if p != nil && (d < bestD || (d == bestD && m < bestM)) {
+				bestD, bestM, bestPath = d, m, p
+			}
+		}
+		if bestM == graph.Invalid {
+			for m := range remaining {
+				rep.Unrecovered = append(rep.Unrecovered, m)
+			}
+			sort.Slice(rep.Unrecovered, func(i, j int) bool {
+				return rep.Unrecovered[i] < rep.Unrecovered[j]
+			})
+			break
+		}
+		delete(remaining, bestM)
+		// bestPath runs member→…→survivor; graft wants survivor→…→member.
+		if err := s.tree.Graft(bestPath.Reverse(), true); err != nil {
+			return nil, fmt.Errorf("heal: regraft %d: %w", bestM, err)
+		}
+		rep.RecoveryDistance[bestM] = bestD
+		rep.Detours[bestM] = bestPath
+	}
+
+	rep.Pruned = s.tree.PruneStale()
+	s.shr.refresh(s.tree)
+	for _, m := range s.tree.Members() {
+		if _, ok := s.lastUpSHR[m]; !ok {
+			s.recordUpSHR(m)
+		}
+	}
+	return rep, nil
+}

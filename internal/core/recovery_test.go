@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+func TestHealSingleMember(t *testing.T) {
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DThresh = 0 // SPF-shaped tree: C and D share S→A
+	s, err := NewSession(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []graph.NodeID{3, 4} {
+		if _, err := s.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail L_AD: D (4) is cut off; local detour D→C with RD 2.
+	rep, err := s.Heal(failure.LinkDown(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Disconnected) != 1 || rep.Disconnected[0] != 4 {
+		t.Fatalf("disconnected = %v", rep.Disconnected)
+	}
+	if rd := rep.RecoveryDistance[4]; rd != 2 {
+		t.Errorf("RD = %v, want 2", rd)
+	}
+	if rep.Detours[4].String() != "4→3" {
+		t.Errorf("detour = %v, want D→C", rep.Detours[4])
+	}
+	if len(rep.Unrecovered) != 0 {
+		t.Errorf("unrecovered = %v", rep.Unrecovered)
+	}
+	if rep.TotalRecoveryDistance() != 2 {
+		t.Errorf("total RD = %v", rep.TotalRecoveryDistance())
+	}
+	// Tree is whole again and valid.
+	if err := s.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []graph.NodeID{3, 4} {
+		if !s.Tree().IsMember(m) {
+			t.Errorf("member %d lost after heal", m)
+		}
+	}
+	if p, _ := s.Tree().Parent(4); p != 3 {
+		t.Errorf("D's new parent = %d, want C", p)
+	}
+	// The healed tree must not use the failed link.
+	if s.Tree().UsesEdge(graph.MakeEdgeID(1, 4)) {
+		t.Error("healed tree still uses the failed link")
+	}
+}
+
+func TestHealCascadedRecovery(t *testing.T) {
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DThresh = 0
+	s, err := NewSession(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []graph.NodeID{3, 4} {
+		if _, err := s.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail L_SA: both members cut. D reconnects via B (distance 4); then C
+	// reconnects to the now-live D (distance 2) — neighbor-assisted
+	// recovery growing the live tree.
+	rep, err := s.Heal(failure.LinkDown(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Disconnected) != 2 {
+		t.Fatalf("disconnected = %v", rep.Disconnected)
+	}
+	if rd := rep.RecoveryDistance[4]; rd != 4 {
+		t.Errorf("RD(D) = %v, want 4 (D→B→S)", rd)
+	}
+	if rd := rep.RecoveryDistance[3]; rd != 2 {
+		t.Errorf("RD(C) = %v, want 2 (C→D after D recovered)", rd)
+	}
+	if err := s.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tree().UsesEdge(graph.MakeEdgeID(0, 1)) {
+		t.Error("healed tree uses failed link")
+	}
+}
+
+func TestHealSourceFailure(t *testing.T) {
+	s := fig4Session(t, DefaultConfig())
+	if _, err := s.Join(f4E); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Heal(failure.NodeDown(f4S)); !errors.Is(err, failure.ErrSourceFailed) {
+		t.Errorf("heal source failure err = %v", err)
+	}
+}
+
+func TestHealUnrecoverableMember(t *testing.T) {
+	// S(0)-1-2 line, member at 2; failing 1-2 with no alternative strands 2.
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Heal(failure.LinkDown(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrecovered) != 1 || rep.Unrecovered[0] != 2 {
+		t.Errorf("unrecovered = %v", rep.Unrecovered)
+	}
+	if err := s.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The stranded member's state is flushed; stale relay 1 pruned.
+	if s.Tree().OnTree(2) || s.Tree().OnTree(1) {
+		t.Errorf("stale state kept: nodes = %v", s.Tree().Nodes())
+	}
+}
+
+func TestHealNodeFailure(t *testing.T) {
+	s := fig4Session(t, DefaultConfig())
+	for _, m := range []graph.NodeID{f4E, f4G, f4F} {
+		if _, err := s.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the Figure-4 sequence the tree is S-A-D-F, S-A-C-E, S-B-G.
+	// Node D fails: F is disconnected (E is on the C branch).
+	rep, err := s.Heal(failure.NodeDown(f4D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Disconnected) != 1 || rep.Disconnected[0] != f4F {
+		t.Fatalf("disconnected = %v, want [F]", rep.Disconnected)
+	}
+	if err := s.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tree().IsMember(f4F) {
+		t.Error("F not recovered")
+	}
+	if s.Tree().OnTree(f4D) {
+		t.Error("failed node still on tree")
+	}
+	// F's detour must avoid D: F→G (0.8) reaching the live B branch.
+	if rep.Detours[f4F].ContainsNode(f4D) {
+		t.Errorf("detour %v passes through failed node", rep.Detours[f4F])
+	}
+}
+
+// TestHealRandomWorstCases drives Heal across random scenarios and checks
+// global invariants: healed trees are valid, avoid the failed component, and
+// retain every recoverable member.
+func TestHealRandomWorstCases(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		rng := topology.NewRNG(seed)
+		g, err := topology.Waxman(topology.WaxmanConfig{
+			N: 70, Alpha: 0.2, Beta: topology.DefaultBeta, EnsureConnected: true,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(g, 0, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := rng.Sample(69, 12)
+		for _, m := range members {
+			if _, err := s.Join(graph.NodeID(m + 1)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		victim := graph.NodeID(members[0] + 1)
+		f, err := failure.WorstCaseFor(s.Tree(), victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := s.Tree().NumMembers()
+		rep, err := s.Heal(f)
+		if err != nil {
+			t.Fatalf("seed %d: heal: %v", seed, err)
+		}
+		if err := s.Tree().Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Tree().UsesEdge(f.Edge) {
+			t.Errorf("seed %d: healed tree uses failed link", seed)
+		}
+		if got := s.Tree().NumMembers() + len(rep.Unrecovered); got != before {
+			t.Errorf("seed %d: members %d + unrecovered %d != %d",
+				seed, s.Tree().NumMembers(), len(rep.Unrecovered), before)
+		}
+		// Session remains usable after healing: one more join.
+		for n := 1; n < g.NumNodes(); n++ {
+			nd := graph.NodeID(n)
+			if !s.Tree().IsMember(nd) && !f.Mask().NodeBlocked(nd) {
+				if _, err := s.Join(nd); err != nil {
+					t.Fatalf("seed %d: post-heal join: %v", seed, err)
+				}
+				break
+			}
+		}
+		if err := s.Tree().Validate(); err != nil {
+			t.Fatalf("seed %d: post-heal join invariant: %v", seed, err)
+		}
+	}
+}

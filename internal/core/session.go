@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smrp/internal/graph"
+	"smrp/internal/multicast"
+)
+
+// Sentinel errors returned by Session operations.
+var (
+	// ErrAlreadyMember is returned when a join names an existing member.
+	ErrAlreadyMember = errors.New("core: node is already a member")
+	// ErrNoPath is returned when a joining node cannot reach the tree.
+	ErrNoPath = errors.New("core: no path connects the node to the tree")
+)
+
+// Session is a synchronous SMRP multicast session: a tree under
+// construction plus the SHR bookkeeping and reshaping state the protocol
+// maintains. It is the algorithmic heart of the reproduction; the
+// message-level protocol in internal/protocol drives the same logic through
+// simulated packets.
+//
+// Session is not safe for concurrent use.
+type Session struct {
+	cfg  Config
+	g    *graph.Graph
+	tree *multicast.Tree
+	shr  *shrTable
+
+	// lastUpSHR implements Condition I (§3.2.3): for each member, the SHR of
+	// its upstream node as of the member's last path (re)selection
+	// (SHR^old_{S,Ru} in the paper).
+	lastUpSHR map[graph.NodeID]int
+
+	stats Stats
+}
+
+// NewSession creates an SMRP session on g rooted at source.
+func NewSession(g *graph.Graph, source graph.NodeID, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tree, err := multicast.New(g, source)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:       cfg,
+		g:         g,
+		tree:      tree,
+		lastUpSHR: make(map[graph.NodeID]int),
+	}
+	s.shr = newSHRTable(cfg.SHRMode, &s.stats)
+	s.shr.refresh(tree)
+	return s, nil
+}
+
+// Tree returns the session's multicast tree. Callers must not mutate it
+// directly; use Join/Leave/Reshape.
+func (s *Session) Tree() *multicast.Tree { return s.tree }
+
+// Config returns the session configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Stats returns a copy of the session's work counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// SHR returns the current SHR value of on-tree node n (0 for the source).
+func (s *Session) SHR(n graph.NodeID) (int, error) {
+	if !s.tree.OnTree(n) {
+		return 0, fmt.Errorf("SHR of %d: %w", n, multicast.ErrNotOnTree)
+	}
+	return s.shr.snapshot(s.tree)[n], nil
+}
+
+// SHRSnapshot returns SHR values for all on-tree nodes.
+func (s *Session) SHRSnapshot() map[graph.NodeID]int {
+	snap := s.shr.snapshot(s.tree)
+	out := make(map[graph.NodeID]int, len(snap))
+	for n, v := range snap {
+		out[n] = v
+	}
+	return out
+}
+
+// JoinResult describes the outcome of a member join.
+type JoinResult struct {
+	Member graph.NodeID
+	// Merger is the on-tree node the new path merged at.
+	Merger graph.NodeID
+	// Connection is the newly grafted path (Merger first, Member last);
+	// a single-node path means the member was already an on-tree relay.
+	Connection graph.Path
+	// Delay is the member's end-to-end delay on the tree after joining.
+	Delay float64
+	// SPFDelay is the unicast shortest-path delay from the source.
+	SPFDelay float64
+	// MergerSHR is SHR(S, Merger) at selection time.
+	MergerSHR int
+	// WithinBound reports whether the selected path met the
+	// (1+DThresh)·SPF bound (false only in the no-feasible-candidate
+	// fallback).
+	WithinBound bool
+	// Reshaped lists members that switched paths due to Condition I
+	// triggers caused by this join.
+	Reshaped []graph.NodeID
+}
+
+// Join admits nr into the session following the paper's Path Selection
+// Criterion, grafts the chosen path, and then evaluates Condition-I
+// reshaping triggers. It fails if nr is already a member or cannot reach the
+// tree.
+func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
+	if nr < 0 || int(nr) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("join %d: node not in graph", nr)
+	}
+	if s.tree.IsMember(nr) {
+		return nil, fmt.Errorf("join %d: %w", nr, ErrAlreadyMember)
+	}
+
+	spfPath, spfDelay := s.g.ShortestPath(s.tree.Source(), nr, nil)
+	if spfPath == nil && nr != s.tree.Source() {
+		return nil, fmt.Errorf("join %d: %w", nr, ErrNoPath)
+	}
+
+	res := &JoinResult{Member: nr, SPFDelay: spfDelay, WithinBound: true}
+
+	if s.tree.OnTree(nr) {
+		// An on-tree relay (or the source) becomes a receiver in place.
+		if err := s.tree.Graft(graph.Path{nr}, true); err != nil {
+			return nil, err
+		}
+		res.Merger = nr
+		res.Connection = graph.Path{nr}
+	} else {
+		cand, ok, err := s.selectJoinPath(nr, spfDelay, nil)
+		if err != nil {
+			return nil, fmt.Errorf("join %d: %w", nr, err)
+		}
+		if err := s.tree.Graft(cand.Connection, true); err != nil {
+			return nil, fmt.Errorf("join %d: graft: %w", nr, err)
+		}
+		res.Merger = cand.Merger
+		res.Connection = cand.Connection
+		res.MergerSHR = cand.SHR
+		res.WithinBound = ok
+	}
+
+	s.stats.Joins++
+	s.shr.refresh(s.tree)
+	s.recordUpSHR(nr)
+
+	if s.cfg.ReshapeDelta > 0 {
+		res.Reshaped = s.checkConditionI(nr)
+	}
+	if d, err := s.tree.DelayTo(nr); err == nil {
+		res.Delay = d
+	}
+	return res, nil
+}
+
+// selectJoinPath enumerates candidates for joiner (per the configured
+// knowledge mode) and applies the selection criterion. extraMask lets
+// reshaping exclude the member's own subtree.
+func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask) (Candidate, bool, error) {
+	shr := s.shr.snapshot(s.tree)
+	var cands []Candidate
+	switch s.cfg.Knowledge {
+	case QueryScheme:
+		cands = enumerateQuery(s.tree, joiner, shr, extraMask, &s.stats)
+	default:
+		cands = enumerateFull(s.tree, joiner, shr, extraMask)
+	}
+	s.stats.CandidatesSeen += len(cands)
+	if len(cands) == 0 {
+		return Candidate{}, false, ErrNoPath
+	}
+	best, ok := selectCandidate(cands, spfDelay, s.cfg.DThresh)
+	return best, ok, nil
+}
+
+// Leave removes member m and prunes its unused branch.
+func (s *Session) Leave(m graph.NodeID) error {
+	if err := s.tree.Leave(m); err != nil {
+		return err
+	}
+	delete(s.lastUpSHR, m)
+	s.stats.Leaves++
+	s.shr.refresh(s.tree)
+	return nil
+}
+
+// recordUpSHR stores SHR(S, parent(m)) as m's Condition-I baseline.
+func (s *Session) recordUpSHR(m graph.NodeID) {
+	p, ok := s.tree.Parent(m)
+	if !ok || p == graph.Invalid {
+		s.lastUpSHR[m] = 0
+		return
+	}
+	s.lastUpSHR[m] = s.shr.snapshot(s.tree)[p]
+}
+
+// checkConditionI scans members (except the one that just joined) for
+// Condition-I triggers and reshapes those that fire. A single pass is made
+// per join — reshaping refreshes baselines, so cascades settle across
+// subsequent joins rather than looping here.
+func (s *Session) checkConditionI(justJoined graph.NodeID) []graph.NodeID {
+	var reshaped []graph.NodeID
+	for _, m := range s.tree.Members() {
+		if m == justJoined {
+			continue
+		}
+		p, ok := s.tree.Parent(m)
+		if !ok || p == graph.Invalid {
+			continue
+		}
+		cur := s.shr.snapshot(s.tree)[p]
+		if cur-s.lastUpSHR[m] < s.cfg.ReshapeDelta {
+			continue
+		}
+		s.stats.ReshapeChecks++
+		moved, err := s.reshapeMember(m)
+		if err != nil {
+			continue // a failed reshape leaves the member on its old path
+		}
+		if moved {
+			reshaped = append(reshaped, m)
+		} else {
+			// Triggered but current path is still best: reset the baseline
+			// so the same growth does not re-trigger immediately.
+			s.recordUpSHR(m)
+		}
+	}
+	sort.Slice(reshaped, func(i, j int) bool { return reshaped[i] < reshaped[j] })
+	return reshaped
+}
+
+// ReshapeAll implements Condition II (§3.2.3): every member re-runs path
+// selection as if it had just joined (the protocol layer drives this from a
+// periodic timer). It returns the members that actually switched paths.
+func (s *Session) ReshapeAll() []graph.NodeID {
+	if !s.cfg.PeriodicReshape {
+		return nil
+	}
+	var reshaped []graph.NodeID
+	for _, m := range s.tree.Members() {
+		s.stats.ReshapeChecks++
+		moved, err := s.reshapeMember(m)
+		if err != nil {
+			continue
+		}
+		if moved {
+			reshaped = append(reshaped, m)
+		}
+	}
+	return reshaped
+}
+
+// reshapeMember evaluates a new path for member m per §3.2.3 and switches if
+// the new path is strictly better. The evaluation removes m's subtree from a
+// hypothetical copy of the tree so SHR values are adjusted for m's own
+// contribution before comparison (the paper's "should be adjusted" note).
+// It reports whether a switch happened.
+func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
+	if !s.tree.OnTree(m) {
+		return false, fmt.Errorf("reshape %d: %w", m, multicast.ErrNotOnTree)
+	}
+	if m == s.tree.Source() {
+		return false, nil
+	}
+	parent, _ := s.tree.Parent(m)
+	if parent == graph.Invalid {
+		return false, nil
+	}
+
+	// Hypothetical tree without m's subtree.
+	hypo := s.tree.Clone()
+	subNodes, err := s.tree.SubtreeNodes(m)
+	if err != nil {
+		return false, err
+	}
+	if err := hypo.RemoveSubtree(m); err != nil {
+		return false, err
+	}
+	hypoSHR := ComputeSHR(hypo)
+	if s.cfg.SHRMode == DeferredSHR {
+		s.stats.SHRComputes += len(hypoSHR)
+	}
+
+	// New-path candidates must avoid m's own subtree (cycle prevention).
+	mask := graph.NewMask()
+	for _, n := range subNodes {
+		if n != m {
+			mask.BlockNode(n)
+		}
+	}
+	var cands []Candidate
+	switch s.cfg.Knowledge {
+	case QueryScheme:
+		cands = enumerateQuery(hypo, m, hypoSHR, mask, &s.stats)
+	default:
+		cands = enumerateFull(hypo, m, hypoSHR, mask)
+	}
+	s.stats.CandidatesSeen += len(cands)
+	if len(cands) == 0 {
+		return false, nil
+	}
+
+	_, spfDelay := s.g.ShortestPath(s.tree.Source(), m, nil)
+	best, ok := selectCandidate(cands, spfDelay, s.cfg.DThresh)
+	if !ok {
+		return false, nil // no admissible alternative; stay put
+	}
+
+	// Current attachment, viewed on the hypothetical tree: the deepest
+	// ancestor of m that survives m's departure is the current merger.
+	curMerger := parent
+	for !hypo.OnTree(curMerger) {
+		p, okp := s.tree.Parent(curMerger)
+		if !okp || p == graph.Invalid {
+			break
+		}
+		curMerger = p
+	}
+	curSHR := hypoSHR[curMerger]
+	curDelay, err := s.tree.DelayTo(m)
+	if err != nil {
+		return false, err
+	}
+
+	improves := best.SHR < curSHR ||
+		(best.SHR == curSHR && best.TotalDelay < curDelay-delayEps)
+	if !improves {
+		return false, nil
+	}
+	if err := s.tree.Reroute(m, best.Connection); err != nil {
+		return false, fmt.Errorf("reshape %d: %w", m, err)
+	}
+	s.stats.Reshapes++
+	s.shr.refresh(s.tree)
+	s.recordUpSHR(m)
+	return true, nil
+}

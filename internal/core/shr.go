@@ -1,0 +1,72 @@
+package core
+
+import (
+	"smrp/internal/graph"
+	"smrp/internal/multicast"
+)
+
+// ComputeSHR returns SHR(S,R) for every on-tree node R of t, where
+//
+//	SHR(S,R) = Σ N_{R'}  over on-tree nodes R' on the path S→R, excluding S
+//	         = SHR(S, R_u) + N_R                             (Eq. 2)
+//
+// and N_R is the number of members in the subtree rooted at R. SHR(S,S) = 0.
+//
+// The value measures how many member paths share the links from S down to R:
+// the smaller SHR(S,R), the more attractive R is as a merger point for a new
+// member, because a failure above R disconnects fewer receivers.
+func ComputeSHR(t *multicast.Tree) map[graph.NodeID]int {
+	counts := t.MemberCounts()
+	shr := make(map[graph.NodeID]int, len(counts))
+	src := t.Source()
+	shr[src] = 0
+	// Top-down propagation along the recurrence SHR(R) = SHR(R_u) + N_R.
+	stack := []graph.NodeID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range t.Children(n) {
+			shr[k] = shr[n] + counts[k]
+			stack = append(stack, k)
+		}
+	}
+	return shr
+}
+
+// shrTable maintains SHR values for a session under the configured mode.
+//
+// Under EagerSHR the table is refreshed tree-wide after every membership
+// change (each write is counted in Stats.SHRUpdates, modeling the update
+// messages §3.3.2 worries about). Under DeferredSHR nothing is cached:
+// values are recomputed when path selection needs them, counted in
+// Stats.SHRComputes.
+type shrTable struct {
+	mode   SHRMode
+	cached map[graph.NodeID]int
+	stats  *Stats
+}
+
+func newSHRTable(mode SHRMode, stats *Stats) *shrTable {
+	return &shrTable{mode: mode, stats: stats}
+}
+
+// refresh must be called after every tree mutation; it is a no-op under
+// deferred maintenance.
+func (s *shrTable) refresh(t *multicast.Tree) {
+	if s.mode != EagerSHR {
+		return
+	}
+	s.cached = ComputeSHR(t)
+	s.stats.SHRUpdates += len(s.cached)
+}
+
+// snapshot returns current SHR values for all on-tree nodes, computing them
+// on demand under deferred maintenance.
+func (s *shrTable) snapshot(t *multicast.Tree) map[graph.NodeID]int {
+	if s.mode == EagerSHR {
+		return s.cached
+	}
+	m := ComputeSHR(t)
+	s.stats.SHRComputes += len(m)
+	return m
+}

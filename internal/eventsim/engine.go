@@ -1,0 +1,167 @@
+// Package eventsim is a deterministic discrete-event simulation engine — the
+// repository's substitute for ns2. It provides a virtual clock, an event
+// heap with stable FIFO ordering at equal timestamps, timers, and a simple
+// message-passing network layer with per-link delays and failure injection.
+//
+// The message-level protocol implementations in internal/protocol run on
+// top of this engine; all evaluation latencies (failure detection, query
+// round-trips, join propagation, routing reconvergence) are expressed in the
+// engine's virtual time.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in abstract delay units (the same units
+// as graph edge weights).
+type Time float64
+
+// Infinity is a time later than any schedulable event.
+var Infinity = Time(math.Inf(1))
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel bool
+}
+
+// Cancel prevents the event from firing (safe to call multiple times).
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by time, breaking ties by scheduling sequence so
+// simultaneous events fire in FIFO order (determinism).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return // heap.Push is only called with *Event from this package
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine. Engines are not safe for concurrent
+// use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	budget uint64 // max events per Run, guards against livelock
+}
+
+// DefaultEventBudget bounds the number of events a single Run may process.
+const DefaultEventBudget = 10_000_000
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{budget: DefaultEventBudget}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetEventBudget overrides the per-Run event cap (for tests).
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// Schedule queues fn to run after delay; it returns the event handle so the
+// caller may cancel it. Negative delays are rejected.
+func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("eventsim: negative delay %v", delay)
+	}
+	if fn == nil {
+		return nil, errors.New("eventsim: nil event function")
+	}
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule for callers with static arguments; it panics on
+// the programming errors Schedule rejects.
+func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Run processes events in timestamp order until the queue empties, the
+// event budget is exhausted, or until (inclusive) the given horizon. It
+// returns an error if the budget was exhausted (likely livelock).
+func (e *Engine) Run(until Time) error {
+	processed := uint64(0)
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		popped, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return errors.New("eventsim: corrupted event queue")
+		}
+		if popped.cancel {
+			continue
+		}
+		if processed >= e.budget {
+			return fmt.Errorf("eventsim: event budget %d exhausted at t=%v (livelock?)", e.budget, e.now)
+		}
+		e.now = popped.at
+		popped.fn()
+		e.fired++
+		processed++
+	}
+	// Advance the clock to the horizon if it is finite and ahead.
+	if until != Infinity && until > e.now {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll processes every queued event (no horizon).
+func (e *Engine) RunAll() error { return e.Run(Infinity) }

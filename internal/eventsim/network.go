@@ -1,0 +1,143 @@
+package eventsim
+
+import (
+	"errors"
+	"fmt"
+
+	"smrp/internal/graph"
+)
+
+// Message is an opaque protocol payload delivered between adjacent nodes.
+type Message any
+
+// Handler receives messages addressed to a node. from is the adjacent
+// sender; at is the delivery time.
+type Handler func(from graph.NodeID, msg Message)
+
+// Network simulates hop-by-hop message delivery over a weighted graph:
+// sending over an edge delivers after the edge-weight delay, unless the edge
+// or a node has failed in the meantime (persistent failures — messages in
+// flight on a failed component are lost, like packets on a cut fiber).
+type Network struct {
+	engine   *Engine
+	g        *graph.Graph
+	handlers map[graph.NodeID]Handler
+	failed   *graph.Mask
+
+	// Sent and Delivered count messages for overhead accounting.
+	Sent      uint64
+	Delivered uint64
+}
+
+// NewNetwork builds a network over g driven by engine.
+func NewNetwork(engine *Engine, g *graph.Graph) *Network {
+	return &Network{
+		engine:   engine,
+		g:        g,
+		handlers: make(map[graph.NodeID]Handler),
+		failed:   graph.NewMask(),
+	}
+}
+
+// Engine returns the driving engine.
+func (n *Network) Engine() *Engine { return n.engine }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Register installs the message handler for node id, replacing any previous
+// handler.
+func (n *Network) Register(id graph.NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// FailLink marks the undirected link (u, v) as persistently failed from the
+// current simulation time onward.
+func (n *Network) FailLink(u, v graph.NodeID) {
+	n.failed.BlockEdge(u, v)
+}
+
+// FailNode marks node v (and all its links) as persistently failed.
+func (n *Network) FailNode(v graph.NodeID) {
+	n.failed.BlockNode(v)
+}
+
+// Failed returns the current failure mask (shared; callers must not mutate).
+func (n *Network) Failed() *graph.Mask { return n.failed }
+
+// LinkUp reports whether the link (u, v) exists and is currently healthy.
+func (n *Network) LinkUp(u, v graph.NodeID) bool {
+	return n.g.HasEdge(u, v) && !n.failed.EdgeBlocked(u, v)
+}
+
+// Send transmits msg from node u to adjacent node v. Delivery happens after
+// the link's propagation delay; the message is silently lost if the link (or
+// either endpoint) fails before delivery, or is already down at send time —
+// exactly how a persistent cut behaves. Sending over a non-existent edge is
+// a programming error and is reported immediately.
+func (n *Network) Send(u, v graph.NodeID, msg Message) error {
+	w, ok := n.g.EdgeWeight(u, v)
+	if !ok {
+		return fmt.Errorf("eventsim: send %d→%d: no such link", u, v)
+	}
+	n.Sent++
+	if n.failed.EdgeBlocked(u, v) {
+		return nil // lost on a dead link
+	}
+	_, err := n.engine.Schedule(Time(w), func() {
+		// Re-check at delivery: the link may have died mid-flight.
+		if n.failed.EdgeBlocked(u, v) {
+			return
+		}
+		h, ok := n.handlers[v]
+		if !ok {
+			return
+		}
+		n.Delivered++
+		h(u, msg)
+	})
+	return err
+}
+
+// SendAlong forwards msg hop-by-hop along path (path[0] is the sender). Each
+// hop's handler is NOT invoked; the message is delivered only to the final
+// node after the cumulative path delay, but the transit is still subject to
+// link failures hop-by-hop. This models source-routed control messages
+// (e.g. Join_Req travelling the selected path) without requiring every node
+// to implement forwarding for every message type.
+func (n *Network) SendAlong(path graph.Path, msg Message) error {
+	if len(path) < 2 {
+		return errors.New("eventsim: SendAlong needs at least one hop")
+	}
+	if err := path.Validate(n.g); err != nil {
+		return fmt.Errorf("eventsim: SendAlong: %w", err)
+	}
+	n.Sent++
+	n.forwardAlong(path, 0, msg)
+	return nil
+}
+
+// forwardAlong advances msg from path[i] to path[i+1], recursing until the
+// final hop delivers.
+func (n *Network) forwardAlong(path graph.Path, i int, msg Message) {
+	u, v := path[i], path[i+1]
+	w, ok := n.g.EdgeWeight(u, v)
+	if !ok || n.failed.EdgeBlocked(u, v) {
+		return // lost
+	}
+	n.engine.MustSchedule(Time(w), func() {
+		if n.failed.EdgeBlocked(u, v) || n.failed.NodeBlocked(v) {
+			return
+		}
+		if i+2 < len(path) {
+			n.forwardAlong(path, i+1, msg)
+			return
+		}
+		h, ok := n.handlers[v]
+		if !ok {
+			return
+		}
+		n.Delivered++
+		h(path[0], msg)
+	})
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the sweep as machine-readable CSV, one row per swept value,
+// so the figures can be re-plotted outside Go.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		r.XName,
+		"rd_rel_mean", "rd_rel_ci95",
+		"delay_rel_mean", "delay_rel_ci95",
+		"cost_rel_mean", "cost_rel_ci95",
+		"avg_degree",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Label,
+			f(row.RDRel.Mean), f(row.RDRel.CI95),
+			f(row.DelayRel.Mean), f(row.DelayRel.CI95),
+			f(row.CostRel.Mean), f(row.CostRel.CI95),
+			f(row.AvgDegree),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the scatter as CSV (global_rd, local_rd per point).
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"global_rd", "local_rd"}); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{f(p.Global), f(p.Local)}); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the ablation rows as CSV.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"variant",
+		"rd_rel_mean", "rd_rel_ci95",
+		"delay_rel_mean", "delay_rel_ci95",
+		"cost_rel_mean", "cost_rel_ci95",
+		"shr_updates", "shr_computes", "query_msgs", "reshapes",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Name,
+			f(row.RDRel.Mean), f(row.RDRel.CI95),
+			f(row.DelayRel.Mean), f(row.DelayRel.CI95),
+			f(row.CostRel.Mean), f(row.CostRel.CI95),
+			f(row.SHRUpdates), f(row.SHRComputes), f(row.QueryMsgs), f(row.Reshapes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f renders a float compactly for CSV cells.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/hierarchy"
+	"smrp/internal/metrics"
+	"smrp/internal/topology"
+)
+
+// HierResult reproduces the §3.3.3 / Figure 6 architecture comparison:
+// failures inside a stub domain are recovered with reconfiguration confined
+// to that domain, versus a flat session where any node may be touched.
+type HierResult struct {
+	Runs int
+	// ScopeHier is the number of nodes in the recovery domain that had to
+	// react; ScopeFlat is the whole-network size a flat session exposes.
+	ScopeHier metrics.Summary
+	ScopeFlat metrics.Summary
+	// RDHier / RDFlat are total recovery distances for the same failure.
+	RDHier metrics.Summary
+	RDFlat metrics.Summary
+	// DelayStretch is the hierarchical end-to-end delay relative to the
+	// flat SMRP tree (the price of domain confinement).
+	DelayStretch metrics.Summary
+}
+
+// Render prints the comparison.
+func (r *HierResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hierarchical recovery architecture (transit–stub, %d runs)\n", r.Runs)
+	fmt.Fprintf(&b, "  %-28s %-24s %-24s\n", "metric", "hierarchical", "flat")
+	fmt.Fprintf(&b, "  %-28s %8.2f ± %-13.2f %8.2f ± %-13.2f\n", "recovery scope (nodes)",
+		r.ScopeHier.Mean, r.ScopeHier.CI95, r.ScopeFlat.Mean, r.ScopeFlat.CI95)
+	fmt.Fprintf(&b, "  %-28s %8.4f ± %-13.4f %8.4f ± %-13.4f\n", "total recovery distance",
+		r.RDHier.Mean, r.RDHier.CI95, r.RDFlat.Mean, r.RDFlat.CI95)
+	fmt.Fprintf(&b, "  %-28s %8.4f ± %-13.4f\n", "delay stretch (hier/flat)",
+		r.DelayStretch.Mean, r.DelayStretch.CI95)
+	return b.String()
+}
+
+// RunHierarchy builds paired hierarchical and flat SMRP sessions over
+// transit–stub topologies, injects a worst-case failure inside a member's
+// stub domain, and compares recovery scope and distance.
+func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
+	cfg := core.DefaultConfig()
+	out := &HierResult{}
+	var scopeH, scopeF, rdH, rdF, stretch metrics.Sample
+
+	for r := 0; r < runs; r++ {
+		rng := topology.NewRNG(seed + uint64(r)*104729)
+		ts, err := topology.GenerateTransitStub(topology.DefaultTransitStubConfig(), rng)
+		if err != nil {
+			return nil, err
+		}
+		// Source: first non-gateway node of stub 0.
+		var src graph.NodeID = graph.Invalid
+		for _, n := range ts.Stubs[0].Nodes {
+			if n != ts.Stubs[0].Gateway {
+				src = n
+				break
+			}
+		}
+		if src == graph.Invalid {
+			continue
+		}
+		// Members: two non-gateway nodes from every stub.
+		var members []graph.NodeID
+		for i := range ts.Stubs {
+			count := 0
+			for _, n := range ts.Stubs[i].Nodes {
+				if n != ts.Stubs[i].Gateway && n != src {
+					members = append(members, n)
+					if count++; count == 2 {
+						break
+					}
+				}
+			}
+		}
+
+		hier, err := hierarchy.New(ts, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := core.NewSession(ts.Graph, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			if err := hier.Join(m); err != nil {
+				return nil, err
+			}
+			if _, err := flat.Join(m); err != nil {
+				return nil, err
+			}
+		}
+
+		// Delay stretch across members.
+		for _, m := range members {
+			dh, err := hier.EndToEndDelay(m)
+			if err != nil {
+				return nil, err
+			}
+			df, err := flat.Tree().DelayTo(m)
+			if err != nil {
+				return nil, err
+			}
+			if df > 0 {
+				stretch.Add(dh / df)
+			}
+		}
+
+		// Worst-case failure for a member in a non-source stub, inside its
+		// own stub domain.
+		victim, victimDomain := graph.Invalid, -1
+		for _, m := range members {
+			if d := ts.DomainOf(m); d.ID != ts.DomainOf(src).ID {
+				victim, victimDomain = m, d.ID
+				break
+			}
+		}
+		if victim == graph.Invalid {
+			continue
+		}
+		sess, nm, err := hier.StubTree(victimDomain)
+		if err != nil {
+			return nil, err
+		}
+		sub, _ := nm.ToSub(victim)
+		fSub, err := failure.WorstCaseFor(sess.Tree(), sub)
+		if err != nil {
+			continue
+		}
+		fullA, _ := nm.ToFull(fSub.Edge.A)
+		fullB, _ := nm.ToFull(fSub.Edge.B)
+		f := failure.LinkDown(fullA, fullB)
+
+		hrep, err := hier.Recover(f)
+		if err != nil {
+			continue // failure may be unrecoverable inside the domain
+		}
+		frep, err := flat.Heal(f)
+		if err != nil {
+			continue
+		}
+		scopeH.Add(float64(hrep.NodesInDomain))
+		scopeF.Add(float64(ts.Graph.NumNodes()))
+		rdH.Add(hrep.Heal.TotalRecoveryDistance())
+		rdF.Add(frep.TotalRecoveryDistance())
+		out.Runs++
+	}
+	if out.Runs == 0 {
+		return nil, fmt.Errorf("experiment: no usable hierarchy runs")
+	}
+	var err error
+	if out.ScopeHier, err = scopeH.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.ScopeFlat, err = scopeF.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.RDHier, err = rdH.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.RDFlat, err = rdF.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.DelayStretch, err = stretch.Summarize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

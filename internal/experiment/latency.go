@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"smrp/internal/eventsim"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/metrics"
+	"smrp/internal/protocol"
+	"smrp/internal/topology"
+)
+
+// LatencyResult reproduces the paper's motivating claim at the message
+// level: service-restoration latency via local detours vs. the
+// reconvergence-gated global detour, measured on the event-driven protocol
+// implementations.
+type LatencyResult struct {
+	Scenarios     int
+	SMRPLatency   metrics.Summary
+	SPFLatency    metrics.Summary
+	Speedup       float64 // mean SPF latency / mean SMRP latency
+	SMRPMessages  float64 // mean control messages per scenario
+	SPFMessages   float64
+	Unrecoverable int
+}
+
+// Render prints the comparison.
+func (r *LatencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Restoration latency (event-driven protocols, %d scenarios)\n", r.Scenarios)
+	fmt.Fprintf(&b, "  %-22s %-24s %-10s\n", "protocol", "latency (mean±ci95)", "msgs/run")
+	fmt.Fprintf(&b, "  %-22s %8.3f ± %-13.3f %-10.1f\n", "SMRP (local detour)",
+		r.SMRPLatency.Mean, r.SMRPLatency.CI95, r.SMRPMessages)
+	fmt.Fprintf(&b, "  %-22s %8.3f ± %-13.3f %-10.1f\n", "SPF (global detour)",
+		r.SPFLatency.Mean, r.SPFLatency.CI95, r.SPFMessages)
+	fmt.Fprintf(&b, "  speedup = %.2fx, unrecoverable scenarios skipped = %d\n",
+		r.Speedup, r.Unrecoverable)
+	return b.String()
+}
+
+// RunLatency builds paired protocol instances over random topologies, drives
+// member joins, injects each protocol's worst-case failure for a victim
+// member, and measures restoration latency.
+func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
+	base := DefaultBase()
+	pcfg := protocol.DefaultConfig()
+	pcfg.SMRP = base.SMRP
+
+	out := &LatencyResult{}
+	var sLat, gLat metrics.Sample
+	var sMsg, gMsg float64
+	for r := 0; r < runs; r++ {
+		rng := topology.NewRNG(seed + uint64(r)*7919)
+		g, err := topology.Waxman(topology.WaxmanConfig{
+			N: base.N, Alpha: base.Alpha, Beta: base.Beta, EnsureConnected: true,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		// Root at a well-connected node so single failures cannot partition
+		// the source itself.
+		source := graph.NodeID(0)
+		for n := 1; n < g.NumNodes(); n++ {
+			if g.Degree(graph.NodeID(n)) > g.Degree(source) {
+				source = graph.NodeID(n)
+			}
+		}
+		var members []graph.NodeID
+		for _, id := range rng.Sample(base.N, base.NG+1) {
+			if graph.NodeID(id) != source && len(members) < base.NG {
+				members = append(members, graph.NodeID(id))
+			}
+		}
+		smrp, err := protocol.NewSMRPInstance(g, source, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		spf, err := protocol.NewSPFInstance(g, source, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		for k, m := range members {
+			at := eventsim.Time(k + 1)
+			if err := smrp.ScheduleJoin(at, m); err != nil {
+				return nil, err
+			}
+			if err := spf.ScheduleJoin(at, m); err != nil {
+				return nil, err
+			}
+		}
+		if err := smrp.Run(200); err != nil {
+			return nil, err
+		}
+		if err := spf.Run(200); err != nil {
+			return nil, err
+		}
+
+		victim := members[0]
+		fS, err := failure.WorstCaseFor(smrp.Session().Tree(), victim)
+		if err != nil {
+			return nil, err
+		}
+		fG, err := failure.WorstCaseFor(spf.Session().Tree(), victim)
+		if err != nil {
+			return nil, err
+		}
+		if err := smrp.InjectFailure(300, fS); err != nil {
+			return nil, err
+		}
+		if err := spf.InjectFailure(300, fG); err != nil {
+			return nil, err
+		}
+		if err := smrp.Run(2000); err != nil {
+			return nil, err
+		}
+		if err := spf.Run(2000); err != nil {
+			return nil, err
+		}
+
+		var sv, gv *protocol.Restoration
+		for _, rr := range smrp.Restorations() {
+			if rr.Member == victim {
+				r := rr
+				sv = &r
+			}
+		}
+		for _, rr := range spf.Restorations() {
+			if rr.Member == victim {
+				r := rr
+				gv = &r
+			}
+		}
+		if sv == nil || gv == nil {
+			out.Unrecoverable++
+			continue
+		}
+		sLat.Add(float64(sv.Latency))
+		gLat.Add(float64(gv.Latency))
+		sMsg += float64(smrp.Network().Sent)
+		gMsg += float64(spf.Network().Sent)
+		out.Scenarios++
+	}
+	if out.Scenarios == 0 {
+		return nil, fmt.Errorf("experiment: no recoverable latency scenarios out of %d", runs)
+	}
+	var err error
+	if out.SMRPLatency, err = sLat.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.SPFLatency, err = gLat.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.SMRPLatency.Mean > 0 {
+		out.Speedup = out.SPFLatency.Mean / out.SMRPLatency.Mean
+	}
+	out.SMRPMessages = sMsg / float64(out.Scenarios)
+	out.SPFMessages = gMsg / float64(out.Scenarios)
+	return out, nil
+}

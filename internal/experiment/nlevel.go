@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/hierarchy"
+	"smrp/internal/metrics"
+	"smrp/internal/topology"
+)
+
+// NLevelResult measures how recovery scope scales with hierarchy depth —
+// the §3.3.3 claim that the 2-level architecture "can be easily generalized
+// into an N-level architecture": the deeper the hierarchy, the smaller the
+// fraction of the network any single failure can touch.
+type NLevelResult struct {
+	Runs int
+	// ScopeLeaf is the recovery scope for failures inside leaf domains;
+	// ScopeFlat is the whole network.
+	ScopeLeaf metrics.Summary
+	ScopeFlat metrics.Summary
+	// Levels/Domains/Nodes describe the topology under test.
+	Levels, Domains, Nodes int
+}
+
+// Render prints the study.
+func (r *NLevelResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N-level recovery architecture (%d levels, %d domains, %d nodes, %d runs)\n",
+		r.Levels, r.Domains, r.Nodes, r.Runs)
+	fmt.Fprintf(&b, "  leaf-domain recovery scope: %8.2f ± %.2f nodes\n", r.ScopeLeaf.Mean, r.ScopeLeaf.CI95)
+	fmt.Fprintf(&b, "  flat recovery scope:        %8.2f ± %.2f nodes (%.1fx shrink)\n",
+		r.ScopeFlat.Mean, r.ScopeFlat.CI95, r.ScopeFlat.Mean/r.ScopeLeaf.Mean)
+	return b.String()
+}
+
+// RunNLevel builds 3-level sessions, fails worst-case links inside leaf
+// domains, and compares the domain-confined scope against a flat session's
+// whole-network scope.
+func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
+	cfg := topology.DefaultNLevelConfig()
+	out := &NLevelResult{Levels: cfg.Levels}
+	var scopeLeaf, scopeFlat metrics.Sample
+
+	for r := 0; r < runs; r++ {
+		rng := topology.NewRNG(seed + uint64(r)*32452843)
+		nt, err := topology.GenerateNLevel(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Domains = len(nt.Domains)
+		out.Nodes = nt.Graph.NumNodes()
+		leaves := nt.Leaves()
+		srcLeaf := nt.Domains[leaves[0]]
+		var src graph.NodeID = graph.Invalid
+		for _, n := range srcLeaf.Nodes {
+			if n != srcLeaf.Gateway {
+				src = n
+				break
+			}
+		}
+		if src == graph.Invalid {
+			continue
+		}
+		sess, err := hierarchy.NewNLevel(nt, src, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		// One member per leaf domain.
+		var victim graph.NodeID = graph.Invalid
+		victimDomain := -1
+		for _, li := range leaves[1:] {
+			d := nt.Domains[li]
+			for _, n := range d.Nodes {
+				if n != d.Gateway {
+					if err := sess.Join(n); err != nil {
+						return nil, err
+					}
+					if victim == graph.Invalid {
+						victim, victimDomain = n, li
+					}
+					break
+				}
+			}
+		}
+		if victim == graph.Invalid {
+			continue
+		}
+		ds, nm, err := sess.DomainSession(victimDomain)
+		if err != nil {
+			return nil, err
+		}
+		sub, _ := nm.ToSub(victim)
+		fSub, err := failure.WorstCaseFor(ds.Tree(), sub)
+		if err != nil {
+			continue
+		}
+		a, _ := nm.ToFull(fSub.Edge.A)
+		b, _ := nm.ToFull(fSub.Edge.B)
+		rep, err := sess.Recover(failure.LinkDown(a, b))
+		if err != nil {
+			continue
+		}
+		scopeLeaf.Add(float64(rep.NodesInDomain))
+		scopeFlat.Add(float64(nt.Graph.NumNodes()))
+		out.Runs++
+	}
+	if out.Runs == 0 {
+		return nil, fmt.Errorf("experiment: no usable N-level runs")
+	}
+	var err error
+	if out.ScopeLeaf, err = scopeLeaf.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.ScopeFlat, err = scopeFlat.Summarize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Unreachable is the distance reported for nodes that cannot be reached.
+var Unreachable = math.Inf(1)
+
+// SPTree is a shortest-path tree rooted at Source, as produced by Dijkstra.
+type SPTree struct {
+	Source NodeID
+	Dist   []float64 // Dist[n] = shortest distance from Source to n (Unreachable if none)
+	Parent []NodeID  // Parent[n] = predecessor of n on its shortest path (Invalid at Source / unreachable)
+}
+
+// Reachable reports whether node n is reachable from the tree's source.
+func (t *SPTree) Reachable(n NodeID) bool {
+	return !math.IsInf(t.Dist[n], 1)
+}
+
+// PathTo reconstructs the shortest path from the tree's source to n, or nil
+// if n is unreachable.
+func (t *SPTree) PathTo(n NodeID) Path {
+	if !t.Reachable(n) {
+		return nil
+	}
+	var rev []NodeID
+	for cur := n; cur != Invalid; cur = t.Parent[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path(rev)
+}
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+// pq is a binary min-heap of pqItems keyed by dist, with deterministic
+// tie-breaking on node ID so results are stable across runs.
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node
+}
+
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *pq) Push(x any) {
+	item, ok := x.(pqItem)
+	if !ok {
+		return // heap.Push is only ever called with pqItem from this package
+	}
+	*q = append(*q, item)
+}
+
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+var _ heap.Interface = (*pq)(nil)
+
+// Dijkstra computes the shortest-path tree from src over the graph minus the
+// mask. It uses a lazy-deletion binary heap; ties are broken on node ID, so
+// the resulting tree is deterministic.
+func (g *Graph) Dijkstra(src NodeID, mask *Mask) *SPTree {
+	n := g.NumNodes()
+	t := &SPTree{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Unreachable
+		t.Parent[i] = Invalid
+	}
+	if !g.valid(src) || mask.NodeBlocked(src) {
+		return t
+	}
+	t.Dist[src] = 0
+
+	done := make([]bool, n)
+	q := pq{{node: src, dist: 0}}
+	for len(q) > 0 {
+		item, ok := heap.Pop(&q).(pqItem)
+		if !ok {
+			break
+		}
+		u := item.node
+		if done[u] || item.dist > t.Dist[u] {
+			continue // stale heap entry
+		}
+		done[u] = true
+		for _, arc := range g.adj[u] {
+			v := arc.To
+			if done[v] || mask.NodeBlocked(v) || mask.EdgeBlocked(u, v) {
+				continue
+			}
+			nd := t.Dist[u] + arc.Weight
+			// Deterministic tie-breaking on parent ID keeps shortest-path
+			// trees stable when multiple equal-length paths exist.
+			if nd < t.Dist[v] || (nd == t.Dist[v] && u < t.Parent[v]) {
+				t.Dist[v] = nd
+				t.Parent[v] = u
+				heap.Push(&q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// ShortestPath returns the shortest path from src to dst avoiding the mask,
+// together with its length. It returns (nil, Unreachable) when no path
+// exists.
+func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
+	t := g.Dijkstra(src, mask)
+	if !g.valid(dst) || !t.Reachable(dst) {
+		return nil, Unreachable
+	}
+	return t.PathTo(dst), t.Dist[dst]
+}
+
+// NearestOf runs Dijkstra from src and returns the closest node for which
+// accept returns true, along with the path to it and its distance. src itself
+// is considered if accept(src) holds. It returns (Invalid, nil, Unreachable)
+// when no accepted node is reachable.
+//
+// This is the primitive behind local-detour recovery: "find the nearest
+// surviving on-tree node in the residual network".
+func (g *Graph) NearestOf(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64) {
+	n := g.NumNodes()
+	if !g.valid(src) || mask.NodeBlocked(src) {
+		return Invalid, nil, Unreachable
+	}
+	dist := make([]float64, n)
+	parent := make([]NodeID, n)
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = Invalid
+	}
+	dist[src] = 0
+	done := make([]bool, n)
+	q := pq{{node: src, dist: 0}}
+	for len(q) > 0 {
+		item, ok := heap.Pop(&q).(pqItem)
+		if !ok {
+			break
+		}
+		u := item.node
+		if done[u] || item.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		if accept(u) {
+			// First settled accepted node is the nearest one.
+			var rev []NodeID
+			for cur := u; cur != Invalid; cur = parent[cur] {
+				rev = append(rev, cur)
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return u, Path(rev), dist[u]
+		}
+		for _, arc := range g.adj[u] {
+			v := arc.To
+			if done[v] || mask.NodeBlocked(v) || mask.EdgeBlocked(u, v) {
+				continue
+			}
+			nd := dist[u] + arc.Weight
+			if nd < dist[v] || (nd == dist[v] && u < parent[v]) {
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(&q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return Invalid, nil, Unreachable
+}

@@ -1,0 +1,71 @@
+package graph
+
+import "math"
+
+// Eccentricity returns the greatest shortest-path distance from n to any
+// node reachable from it (0 for an isolated node), and the farthest node.
+func (g *Graph) Eccentricity(n NodeID, mask *Mask) (float64, NodeID) {
+	t := g.Dijkstra(n, mask)
+	var ecc float64
+	far := n
+	for i, d := range t.Dist {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if d > ecc {
+			ecc = d
+			far = NodeID(i)
+		}
+	}
+	return ecc, far
+}
+
+// Diameter returns the largest finite shortest-path distance between any
+// pair of nodes in g minus the mask (the diameter of the largest component
+// when disconnected). O(V·E log V); intended for the evaluation-scale
+// graphs of this repository.
+func (g *Graph) Diameter(mask *Mask) float64 {
+	var diam float64
+	for n := 0; n < g.NumNodes(); n++ {
+		if mask.NodeBlocked(NodeID(n)) {
+			continue
+		}
+		if ecc, _ := g.Eccentricity(NodeID(n), mask); ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// HopDistance returns the minimum number of hops between u and v ignoring
+// weights, or -1 when unreachable.
+func (g *Graph) HopDistance(u, v NodeID, mask *Mask) int {
+	if !g.valid(u) || !g.valid(v) || mask.NodeBlocked(u) || mask.NodeBlocked(v) {
+		return -1
+	}
+	if u == v {
+		return 0
+	}
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []NodeID{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, arc := range g.adj[cur] {
+			w := arc.To
+			if dist[w] != -1 || mask.NodeBlocked(w) || mask.EdgeBlocked(cur, w) {
+				continue
+			}
+			dist[w] = dist[cur] + 1
+			if w == v {
+				return dist[w]
+			}
+			queue = append(queue, w)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+package graph
+
+import "testing"
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := line(t, 5) // unit weights: diameter 4
+	ecc, far := g.Eccentricity(0, nil)
+	if ecc != 4 || far != 4 {
+		t.Errorf("Eccentricity(0) = %v, %v", ecc, far)
+	}
+	ecc2, _ := g.Eccentricity(2, nil)
+	if ecc2 != 2 {
+		t.Errorf("Eccentricity(2) = %v", ecc2)
+	}
+	if d := g.Diameter(nil); d != 4 {
+		t.Errorf("Diameter = %v", d)
+	}
+	// Mask shrinks the reachable set; eccentricity ignores unreachable.
+	mask := NewMask().BlockEdge(2, 3)
+	if ecc3, _ := g.Eccentricity(0, mask); ecc3 != 2 {
+		t.Errorf("masked Eccentricity(0) = %v", ecc3)
+	}
+}
+
+func TestDiameterIgnoresIsolated(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1, 5)
+	if d := g.Diameter(nil); d != 5 {
+		t.Errorf("Diameter = %v", d)
+	}
+	ecc, far := g.Eccentricity(2, nil)
+	if ecc != 0 || far != 2 {
+		t.Errorf("isolated eccentricity = %v, %v", ecc, far)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := diamond(t) // 0-1-3 (w 1+1), 0-2-3 (w 2+2)
+	if h := g.HopDistance(0, 3, nil); h != 2 {
+		t.Errorf("HopDistance = %d, want 2", h)
+	}
+	if h := g.HopDistance(0, 0, nil); h != 0 {
+		t.Errorf("self distance = %d", h)
+	}
+	mask := NewMask().BlockNode(1).BlockNode(2)
+	if h := g.HopDistance(0, 3, mask); h != -1 {
+		t.Errorf("unreachable = %d", h)
+	}
+	if h := g.HopDistance(0, 99, nil); h != -1 {
+		t.Errorf("unknown node = %d", h)
+	}
+}

@@ -1,0 +1,284 @@
+// Package graph provides the weighted undirected graph substrate used by the
+// SMRP reproduction: adjacency storage, shortest paths (Dijkstra), k-shortest
+// paths (Yen), connectivity queries, and path utilities.
+//
+// Graphs are node-indexed with dense integer identifiers, which keeps the
+// simulator and the routing layer allocation-light. All algorithms accept an
+// optional Mask so callers can express failures ("the network minus this
+// link/node") without copying the graph.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: 0..NumNodes()-1.
+type NodeID int
+
+// Invalid is the sentinel NodeID used where "no node" must be expressed
+// (e.g. Dijkstra parents of unreachable nodes).
+const Invalid NodeID = -1
+
+// EdgeID identifies an undirected edge by its canonical endpoint pair.
+type EdgeID struct {
+	A, B NodeID // invariant: A < B
+}
+
+// MakeEdgeID builds the canonical EdgeID for the endpoint pair (u, v).
+func MakeEdgeID(u, v NodeID) EdgeID {
+	if u > v {
+		u, v = v, u
+	}
+	return EdgeID{A: u, B: v}
+}
+
+// Other returns the endpoint of e opposite to n, and reports whether n is an
+// endpoint of e at all.
+func (e EdgeID) Other(n NodeID) (NodeID, bool) {
+	switch n {
+	case e.A:
+		return e.B, true
+	case e.B:
+		return e.A, true
+	default:
+		return Invalid, false
+	}
+}
+
+// String implements fmt.Stringer.
+func (e EdgeID) String() string {
+	return fmt.Sprintf("(%d-%d)", e.A, e.B)
+}
+
+// Arc is one directed half of an undirected edge as stored in adjacency lists.
+type Arc struct {
+	To     NodeID
+	Weight float64
+}
+
+// Point is a 2-D node position (used by Waxman-style generators; weights are
+// typically Euclidean distances between endpoint positions).
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Graph is a weighted undirected graph with dense node IDs.
+//
+// The zero value is an empty graph; use New or AddNode/AddEdge to populate
+// it. Graph methods are not safe for concurrent mutation; concurrent
+// read-only use is safe.
+type Graph struct {
+	adj     [][]Arc
+	pos     []Point
+	weights map[EdgeID]float64
+}
+
+// New returns a graph with n nodes (IDs 0..n-1) and no edges. Node positions
+// default to the origin.
+func New(n int) *Graph {
+	return &Graph{
+		adj:     make([][]Arc, n),
+		pos:     make([]Point, n),
+		weights: make(map[EdgeID]float64, n*2),
+	}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.weights) }
+
+// AddNode appends a node at position p and returns its ID.
+func (g *Graph) AddNode(p Point) NodeID {
+	g.adj = append(g.adj, nil)
+	g.pos = append(g.pos, p)
+	if g.weights == nil {
+		g.weights = make(map[EdgeID]float64)
+	}
+	return NodeID(len(g.adj) - 1)
+}
+
+// SetPos sets the position of node n.
+func (g *Graph) SetPos(n NodeID, p Point) { g.pos[n] = p }
+
+// Pos returns the position of node n.
+func (g *Graph) Pos(n NodeID) Point { return g.pos[n] }
+
+// valid reports whether n is a node of g.
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v) with weight w. It returns an
+// error if either endpoint is unknown, the endpoints coincide, the weight is
+// not a positive finite number, or the edge already exists.
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if !g.valid(u) || !g.valid(v) {
+		return fmt.Errorf("add edge %d-%d: unknown endpoint", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("add edge: self-loop at node %d", u)
+	}
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("add edge %d-%d: weight %v must be positive and finite", u, v, w)
+	}
+	id := MakeEdgeID(u, v)
+	if _, ok := g.weights[id]; ok {
+		return fmt.Errorf("add edge %d-%d: already present", u, v)
+	}
+	if g.weights == nil {
+		g.weights = make(map[EdgeID]float64)
+	}
+	g.weights[id] = w
+	g.adj[u] = append(g.adj[u], Arc{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Weight: w})
+	return nil
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.weights[MakeEdgeID(u, v)]
+	return ok
+}
+
+// EdgeWeight returns the weight of edge (u, v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	w, ok := g.weights[MakeEdgeID(u, v)]
+	return w, ok
+}
+
+// Neighbors returns the adjacency list of n. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(n NodeID) []Arc { return g.adj[n] }
+
+// Degree returns the number of edges incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// AvgDegree returns the average node degree (2·|E| / |V|), or 0 for an empty
+// graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.weights)) / float64(len(g.adj))
+}
+
+// Edges returns all undirected edges sorted canonically (deterministic order
+// regardless of insertion sequence).
+func (g *Graph) Edges() []EdgeID {
+	out := make([]EdgeID, 0, len(g.weights))
+	for id := range g.weights {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:     make([][]Arc, len(g.adj)),
+		pos:     make([]Point, len(g.pos)),
+		weights: make(map[EdgeID]float64, len(g.weights)),
+	}
+	copy(c.pos, g.pos)
+	for i, arcs := range g.adj {
+		c.adj[i] = make([]Arc, len(arcs))
+		copy(c.adj[i], arcs)
+	}
+	for id, w := range g.weights {
+		c.weights[id] = w
+	}
+	return c
+}
+
+// Mask excludes nodes and/or edges from traversal, expressing component
+// failures or deliberate avoidance without mutating the graph. A nil *Mask
+// excludes nothing.
+type Mask struct {
+	nodes map[NodeID]bool
+	edges map[EdgeID]bool
+}
+
+// NewMask returns an empty mask.
+func NewMask() *Mask {
+	return &Mask{nodes: make(map[NodeID]bool), edges: make(map[EdgeID]bool)}
+}
+
+// BlockNode marks node n as unusable and returns the mask for chaining.
+func (m *Mask) BlockNode(n NodeID) *Mask {
+	m.nodes[n] = true
+	return m
+}
+
+// BlockEdge marks the undirected edge (u, v) as unusable and returns the mask
+// for chaining.
+func (m *Mask) BlockEdge(u, v NodeID) *Mask {
+	m.edges[MakeEdgeID(u, v)] = true
+	return m
+}
+
+// NodeBlocked reports whether node n is excluded. A nil mask blocks nothing.
+func (m *Mask) NodeBlocked(n NodeID) bool {
+	return m != nil && m.nodes[n]
+}
+
+// EdgeBlocked reports whether edge (u, v) is excluded, either directly or via
+// a blocked endpoint. A nil mask blocks nothing.
+func (m *Mask) EdgeBlocked(u, v NodeID) bool {
+	if m == nil {
+		return false
+	}
+	return m.edges[MakeEdgeID(u, v)] || m.nodes[u] || m.nodes[v]
+}
+
+// Clone returns a deep copy of the mask. Cloning a nil mask yields an empty
+// mask.
+func (m *Mask) Clone() *Mask {
+	c := NewMask()
+	if m == nil {
+		return c
+	}
+	for n, v := range m.nodes {
+		if v {
+			c.nodes[n] = true
+		}
+	}
+	for e, v := range m.edges {
+		if v {
+			c.edges[e] = true
+		}
+	}
+	return c
+}
+
+// Union returns a new mask blocking everything blocked by m or other.
+func (m *Mask) Union(other *Mask) *Mask {
+	c := m.Clone()
+	if other == nil {
+		return c
+	}
+	for n, v := range other.nodes {
+		if v {
+			c.nodes[n] = true
+		}
+	}
+	for e, v := range other.edges {
+		if v {
+			c.edges[e] = true
+		}
+	}
+	return c
+}

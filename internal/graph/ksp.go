@@ -1,0 +1,130 @@
+package graph
+
+import "sort"
+
+// WeightedPath pairs a path with its total weight.
+type WeightedPath struct {
+	Path   Path
+	Weight float64
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// ascending weight order, using Yen's algorithm on top of Dijkstra. The mask,
+// if non-nil, is applied throughout. Fewer than k paths are returned when the
+// graph does not contain that many distinct simple paths.
+//
+// The experiment harness uses this to enumerate diverse join candidates when
+// exercising the query-scheme ablation (§3.3.1 of the paper).
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, mask *Mask) []WeightedPath {
+	if k <= 0 {
+		return nil
+	}
+	first, w := g.ShortestPath(src, dst, mask)
+	if first == nil {
+		return nil
+	}
+	result := []WeightedPath{{Path: first, Weight: w}}
+	var candidates []WeightedPath
+
+	for len(result) < k {
+		prev := result[len(result)-1].Path
+		// For each node on the previous path except the last, branch off.
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			branchMask := mask.Clone()
+			// Remove edges used by already-found paths sharing this root.
+			for _, rp := range result {
+				if pathHasPrefix(rp.Path, rootPath) && len(rp.Path) > i+1 {
+					branchMask.BlockEdge(rp.Path[i], rp.Path[i+1])
+				}
+			}
+			// Remove root-path nodes (except the spur node) to keep paths
+			// loopless.
+			for _, n := range rootPath[:len(rootPath)-1] {
+				branchMask.BlockNode(n)
+			}
+
+			spurPath, _ := g.ShortestPath(spurNode, dst, branchMask)
+			if spurPath == nil {
+				continue
+			}
+			total, err := Path(append(append(Path(nil), rootPath...), spurPath[1:]...)).Weight(g)
+			if err != nil {
+				continue
+			}
+			cand := WeightedPath{
+				Path:   append(append(Path(nil), rootPath...), spurPath[1:]...),
+				Weight: total,
+			}
+			if !containsPath(candidates, cand.Path) && !resultHasPath(result, cand.Path) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Weight != candidates[j].Weight {
+				return candidates[i].Weight < candidates[j].Weight
+			}
+			return pathLess(candidates[i].Path, candidates[j].Path)
+		})
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+// pathHasPrefix reports whether p begins with the node sequence prefix.
+func pathHasPrefix(p Path, prefix Path) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, n := range prefix {
+		if p[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// pathEqual reports whether two paths are node-for-node identical.
+func pathEqual(a, b Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess imposes a deterministic total order on equal-weight paths.
+func pathLess(a, b Path) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func containsPath(list []WeightedPath, p Path) bool {
+	for _, wp := range list {
+		if pathEqual(wp.Path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func resultHasPath(list []WeightedPath, p Path) bool {
+	return containsPath(list, p)
+}

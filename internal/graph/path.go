@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a sequence of nodes connected by edges in a graph. A valid path has
+// at least one node; a single-node path has zero length.
+type Path []NodeID
+
+// Len returns the number of edges (hops) in the path.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// First returns the first node of the path; it panics on an empty path.
+func (p Path) First() NodeID { return p[0] }
+
+// Last returns the last node of the path; it panics on an empty path.
+func (p Path) Last() NodeID { return p[len(p)-1] }
+
+// Weight returns the total weight of the path in g. It returns
+// (0, error) if any consecutive pair is not an edge of g.
+func (p Path) Weight(g *Graph) (float64, error) {
+	var total float64
+	for i := 0; i+1 < len(p); i++ {
+		w, ok := g.EdgeWeight(p[i], p[i+1])
+		if !ok {
+			return 0, fmt.Errorf("path weight: %d-%d is not an edge", p[i], p[i+1])
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// Edges returns the canonical edge IDs along the path, in order.
+func (p Path) Edges() []EdgeID {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]EdgeID, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		out = append(out, MakeEdgeID(p[i], p[i+1]))
+	}
+	return out
+}
+
+// ContainsNode reports whether n appears on the path.
+func (p Path) ContainsNode(n NodeID) bool {
+	for _, v := range p {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsEdge reports whether the undirected edge e is traversed by the
+// path.
+func (p Path) ContainsEdge(e EdgeID) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if MakeEdgeID(p[i], p[i+1]) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Reverse returns a new path with the node order reversed.
+func (p Path) Reverse() Path {
+	out := make(Path, len(p))
+	for i, n := range p {
+		out[len(p)-1-i] = n
+	}
+	return out
+}
+
+// Concat joins p with q, where p's last node must equal q's first node. The
+// shared node appears once in the result.
+func (p Path) Concat(q Path) (Path, error) {
+	if len(p) == 0 {
+		return append(Path(nil), q...), nil
+	}
+	if len(q) == 0 {
+		return append(Path(nil), p...), nil
+	}
+	if p.Last() != q.First() {
+		return nil, fmt.Errorf("concat: paths do not share a junction (%d vs %d)", p.Last(), q.First())
+	}
+	out := make(Path, 0, len(p)+len(q)-1)
+	out = append(out, p...)
+	out = append(out, q[1:]...)
+	return out, nil
+}
+
+// IsSimple reports whether no node repeats on the path.
+func (p Path) IsSimple() bool {
+	seen := make(map[NodeID]bool, len(p))
+	for _, n := range p {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}
+
+// Validate checks that every consecutive pair of nodes is an edge of g.
+func (p Path) Validate(g *Graph) error {
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return fmt.Errorf("path: %d-%d is not an edge", p[i], p[i+1])
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer, e.g. "3→7→1".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "<empty>"
+	}
+	parts := make([]string, len(p))
+	for i, n := range p {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, "→")
+}

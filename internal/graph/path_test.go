@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestPathBasics(t *testing.T) {
+	g := line(t, 5)
+	p := Path{0, 1, 2, 3}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+	if p.First() != 0 || p.Last() != 3 {
+		t.Errorf("First/Last = %d/%d, want 0/3", p.First(), p.Last())
+	}
+	w, err := p.Weight(g)
+	if err != nil || w != 3 {
+		t.Errorf("Weight = %v,%v, want 3,nil", w, err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPathWeightInvalidEdge(t *testing.T) {
+	g := line(t, 5)
+	p := Path{0, 2}
+	if _, err := p.Weight(g); err == nil {
+		t.Error("Weight over non-edge should error")
+	}
+	if err := p.Validate(g); err == nil {
+		t.Error("Validate over non-edge should error")
+	}
+}
+
+func TestPathEdges(t *testing.T) {
+	p := Path{3, 1, 2}
+	edges := p.Edges()
+	want := []EdgeID{{1, 3}, {1, 2}}
+	if len(edges) != 2 || edges[0] != want[0] || edges[1] != want[1] {
+		t.Errorf("Edges = %v, want %v", edges, want)
+	}
+	if (Path{7}).Edges() != nil {
+		t.Error("single-node path should have no edges")
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	p := Path{0, 1, 2}
+	if !p.ContainsNode(1) || p.ContainsNode(9) {
+		t.Error("ContainsNode mismatch")
+	}
+	if !p.ContainsEdge(MakeEdgeID(2, 1)) {
+		t.Error("ContainsEdge should be orientation-insensitive")
+	}
+	if p.ContainsEdge(MakeEdgeID(0, 2)) {
+		t.Error("ContainsEdge false positive")
+	}
+}
+
+func TestPathReverse(t *testing.T) {
+	p := Path{0, 1, 2}
+	r := p.Reverse()
+	if r.String() != "2→1→0" {
+		t.Errorf("Reverse = %v", r)
+	}
+	if p.String() != "0→1→2" {
+		t.Error("Reverse mutated the original")
+	}
+}
+
+func TestPathConcat(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Path
+		want    string
+		wantErr bool
+	}{
+		{name: "joined", a: Path{0, 1}, b: Path{1, 2}, want: "0→1→2"},
+		{name: "mismatch", a: Path{0, 1}, b: Path{2, 3}, wantErr: true},
+		{name: "empty left", a: nil, b: Path{4, 5}, want: "4→5"},
+		{name: "empty right", a: Path{4, 5}, b: nil, want: "4→5"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.a.Concat(tt.b)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Concat error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && got.String() != tt.want {
+				t.Errorf("Concat = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPathIsSimple(t *testing.T) {
+	if !(Path{0, 1, 2}).IsSimple() {
+		t.Error("simple path misreported")
+	}
+	if (Path{0, 1, 0}).IsSimple() {
+		t.Error("looping path misreported as simple")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if got := (Path{}).String(); got != "<empty>" {
+		t.Errorf("empty path String = %q", got)
+	}
+	if got := (Path{4}).String(); got != "4" {
+		t.Errorf("String = %q, want 4", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 1, 2, 1)
+	mustEdge(t, g, 3, 4, 1)
+	comps := g.Components(nil)
+	if len(comps) != 3 {
+		t.Fatalf("Components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Errorf("component sizes = %d,%d,%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if g.Connected(nil) {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestComponentsWithMask(t *testing.T) {
+	g := line(t, 4)
+	if !g.Connected(nil) {
+		t.Fatal("line should be connected")
+	}
+	mask := NewMask().BlockEdge(1, 2)
+	comps := g.Components(mask)
+	if len(comps) != 2 {
+		t.Fatalf("masked components = %d, want 2", len(comps))
+	}
+	// Masked node disappears entirely.
+	mask2 := NewMask().BlockNode(1)
+	comps2 := g.Components(mask2)
+	if len(comps2) != 2 {
+		t.Fatalf("node-masked components = %d, want 2", len(comps2))
+	}
+	for _, c := range comps2 {
+		for _, n := range c {
+			if n == 1 {
+				t.Error("blocked node appeared in a component")
+			}
+		}
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := line(t, 5)
+	mask := NewMask().BlockEdge(2, 3)
+	seen := g.ReachableFrom(0, mask)
+	want := []bool{true, true, true, false, false}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("ReachableFrom[%d] = %v, want %v", i, seen[i], w)
+		}
+	}
+	// Blocked source reaches nothing.
+	none := g.ReachableFrom(0, NewMask().BlockNode(0))
+	for i, s := range none {
+		if s {
+			t.Errorf("ReachableFrom blocked source: node %d reported reachable", i)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("initial Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("unions should merge")
+	}
+	if uf.Union(0, 2) {
+		t.Error("repeated union should report false")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", uf.Sets())
+	}
+	if !uf.Same(0, 2) || uf.Same(0, 3) {
+		t.Error("Same mismatch")
+	}
+}
+
+func TestKShortestPaths(t *testing.T) {
+	g := diamond(t)
+	paths := g.KShortestPaths(0, 3, 3, nil)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (diamond has exactly two simple paths)", len(paths))
+	}
+	if paths[0].Weight != 2 || paths[0].Path.String() != "0→1→3" {
+		t.Errorf("first path = %v (%v)", paths[0].Path, paths[0].Weight)
+	}
+	if paths[1].Weight != 4 || paths[1].Path.String() != "0→2→3" {
+		t.Errorf("second path = %v (%v)", paths[1].Path, paths[1].Weight)
+	}
+}
+
+func TestKShortestPathsOrderingAndSimplicity(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 1, 5, 1)
+	mustEdge(t, g, 0, 2, 1)
+	mustEdge(t, g, 2, 5, 2)
+	mustEdge(t, g, 0, 3, 2)
+	mustEdge(t, g, 3, 5, 2)
+	mustEdge(t, g, 1, 2, 1)
+	mustEdge(t, g, 2, 3, 1)
+	paths := g.KShortestPaths(0, 5, 6, nil)
+	if len(paths) < 3 {
+		t.Fatalf("got %d paths, want at least 3", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Weight < paths[i-1].Weight {
+			t.Errorf("paths out of order at %d: %v then %v", i, paths[i-1].Weight, paths[i].Weight)
+		}
+	}
+	seen := map[string]bool{}
+	for _, wp := range paths {
+		if !wp.Path.IsSimple() {
+			t.Errorf("non-simple path %v", wp.Path)
+		}
+		if seen[wp.Path.String()] {
+			t.Errorf("duplicate path %v", wp.Path)
+		}
+		seen[wp.Path.String()] = true
+		w, err := wp.Path.Weight(g)
+		if err != nil || w != wp.Weight {
+			t.Errorf("path %v weight %v reported %v (%v)", wp.Path, w, wp.Weight, err)
+		}
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g := diamond(t)
+	if got := g.KShortestPaths(0, 3, 0, nil); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	g2 := New(2)
+	if got := g2.KShortestPaths(0, 1, 3, nil); got != nil {
+		t.Error("disconnected pair should return nil")
+	}
+}

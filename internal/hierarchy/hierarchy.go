@@ -1,0 +1,402 @@
+// Package hierarchy implements the paper's hierarchical recovery
+// architecture (§3.3.3, Figure 6): the network is partitioned into recovery
+// domains over a transit–stub topology, each domain runs its own SMRP
+// sub-session rooted at a domain agent, and any failure is recovered
+// entirely inside the domain where it occurred. This bounds the scope of
+// tree reconfiguration and makes SMRP scale to large networks.
+//
+// The 2-level instantiation here maps directly onto the transit–stub
+// structure: every stub domain is a level-1 recovery domain whose agent is
+// its gateway router; the transit core (plus the agents) forms the level-0
+// domain. The agent of the domain containing the actual multicast source
+// relays packets from the source into the level-0 tree (A₁ in Figure 6).
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// Errors returned by Session operations.
+var (
+	// ErrUnknownNode is returned when a node belongs to no recovery domain.
+	ErrUnknownNode = errors.New("hierarchy: node belongs to no recovery domain")
+	// ErrFailureOutsideDomains is returned when a failure touches no domain
+	// (cannot happen on well-formed transit–stub inputs).
+	ErrFailureOutsideDomains = errors.New("hierarchy: failure outside all recovery domains")
+)
+
+// domainSession is one recovery domain's sub-multicast tree, built over the
+// induced subgraph of the domain's nodes (plus, for the top domain, the
+// agents).
+type domainSession struct {
+	id      int // topology.Domain ID; -1 for the top (level-0) domain
+	session *core.Session
+	nm      *graph.NodeMap
+	// agent is the domain's source in full-graph IDs (the gateway for
+	// stubs; the source-domain relays from the true source).
+	agent graph.NodeID
+}
+
+// Session is a hierarchical SMRP session over a transit–stub topology.
+type Session struct {
+	ts     *topology.TransitStub
+	cfg    core.Config
+	source graph.NodeID
+
+	// stubs maps stub-domain ID → its sub-session; top is the level-0
+	// session spanning the transit core and the stub agents.
+	stubs map[int]*domainSession
+	top   *domainSession
+
+	members map[graph.NodeID]bool
+}
+
+// New builds a hierarchical session over ts, with the true multicast source
+// at src (which must live in a stub domain, as members do in Figure 6).
+func New(ts *topology.TransitStub, src graph.NodeID, cfg core.Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srcDomain := ts.DomainOf(src)
+	if srcDomain == nil || srcDomain.Kind != topology.StubDomain {
+		return nil, fmt.Errorf("hierarchy: source %d must be inside a stub domain", src)
+	}
+	s := &Session{
+		ts:      ts,
+		cfg:     cfg,
+		source:  src,
+		stubs:   make(map[int]*domainSession, len(ts.Stubs)),
+		members: make(map[graph.NodeID]bool),
+	}
+
+	// Per-stub sub-sessions. The source's own domain is rooted at the true
+	// source; every other stub is rooted at its gateway agent. The agent of
+	// the source's domain is its gateway too — it joins the stub tree as a
+	// member so it can relay the stream into the level-0 core (Figure 6's
+	// A₁).
+	for i := range ts.Stubs {
+		d := &ts.Stubs[i]
+		root := d.Gateway
+		if d.ID == srcDomain.ID {
+			root = src
+		}
+		ds, err := newDomainSession(ts.Graph, d.ID, d.Nodes, root, d.Gateway, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: stub %d: %w", d.ID, err)
+		}
+		s.stubs[d.ID] = ds
+	}
+
+	// Level-0 session: transit nodes plus all stub agents, rooted at the
+	// source domain's agent (which relays from the true source).
+	topNodes := append([]graph.NodeID(nil), ts.Transit.Nodes...)
+	for i := range ts.Stubs {
+		topNodes = append(topNodes, ts.Stubs[i].Gateway)
+	}
+	topAgent := srcDomain.Gateway
+	top, err := newDomainSession(ts.Graph, -1, topNodes, topAgent, topAgent, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: top domain: %w", err)
+	}
+	s.top = top
+
+	// Connect the relay agent inside the source's stub.
+	if srcDomain.Gateway != src {
+		if _, err := s.stubs[srcDomain.ID].join(srcDomain.Gateway); err != nil {
+			return nil, fmt.Errorf("hierarchy: connect source agent: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// newDomainSession builds a sub-session over the induced subgraph of nodes,
+// rooted at root, with the given agent (both full-graph IDs).
+func newDomainSession(g *graph.Graph, id int, nodes []graph.NodeID, root, agent graph.NodeID, cfg core.Config) (*domainSession, error) {
+	sub, nm, err := g.Subgraph(nodes)
+	if err != nil {
+		return nil, err
+	}
+	subRoot, ok := nm.ToSub(root)
+	if !ok {
+		return nil, fmt.Errorf("root %d not in domain", root)
+	}
+	sess, err := core.NewSession(sub, subRoot, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &domainSession{id: id, session: sess, nm: nm, agent: agent}, nil
+}
+
+// join admits a full-graph node into the domain's sub-session.
+func (d *domainSession) join(n graph.NodeID) (*core.JoinResult, error) {
+	sub, ok := d.nm.ToSub(n)
+	if !ok {
+		return nil, fmt.Errorf("join %d: %w", n, ErrUnknownNode)
+	}
+	return d.session.Join(sub)
+}
+
+// leave removes a full-graph node from the domain's sub-session.
+func (d *domainSession) leave(n graph.NodeID) error {
+	sub, ok := d.nm.ToSub(n)
+	if !ok {
+		return fmt.Errorf("leave %d: %w", n, ErrUnknownNode)
+	}
+	return d.session.Leave(sub)
+}
+
+// isMember reports membership of a full-graph node.
+func (d *domainSession) isMember(n graph.NodeID) bool {
+	sub, ok := d.nm.ToSub(n)
+	return ok && d.session.Tree().IsMember(sub)
+}
+
+// Join admits a receiver. Its stub domain's agent transparently joins the
+// level-0 tree the first time the domain gains a member.
+func (s *Session) Join(n graph.NodeID) error {
+	if s.members[n] {
+		return fmt.Errorf("hierarchy: %d already a member", n)
+	}
+	d := s.ts.DomainOf(n)
+	if d == nil {
+		return fmt.Errorf("hierarchy: join %d: %w", n, ErrUnknownNode)
+	}
+	if d.Kind != topology.StubDomain {
+		return fmt.Errorf("hierarchy: join %d: receivers live in stub domains", n)
+	}
+	ds := s.stubs[d.ID]
+	if !ds.isMember(n) { // the source-domain agent is already a relay member
+		if _, err := ds.join(n); err != nil {
+			return fmt.Errorf("hierarchy: join %d in stub %d: %w", n, d.ID, err)
+		}
+	}
+	s.members[n] = true
+	// Hook the domain into the core tree if not already there.
+	if !s.top.isMember(ds.agent) && ds.agent != s.top.agent {
+		if _, err := s.top.join(ds.agent); err != nil {
+			return fmt.Errorf("hierarchy: agent %d join top: %w", ds.agent, err)
+		}
+	}
+	return nil
+}
+
+// Leave removes a receiver; the domain's agent leaves the level-0 tree when
+// its domain empties.
+func (s *Session) Leave(n graph.NodeID) error {
+	if !s.members[n] {
+		return fmt.Errorf("hierarchy: %d is not a member", n)
+	}
+	d := s.ts.DomainOf(n)
+	if d == nil {
+		return fmt.Errorf("hierarchy: leave %d: %w", n, ErrUnknownNode)
+	}
+	ds := s.stubs[d.ID]
+	srcDomain := s.ts.DomainOf(s.source)
+	// The source-domain gateway stays connected as the relay agent even if
+	// it stops being a receiver itself.
+	if !(d.ID == srcDomain.ID && n == ds.agent) {
+		if err := ds.leave(n); err != nil {
+			return err
+		}
+	}
+	delete(s.members, n)
+	if s.domainMemberCount(d.ID) == 0 && s.top.isMember(ds.agent) {
+		if err := s.top.leave(ds.agent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// domainMemberCount counts live receivers registered in stub domain id.
+func (s *Session) domainMemberCount(id int) int {
+	count := 0
+	for m := range s.members {
+		if d := s.ts.DomainOf(m); d != nil && d.ID == id {
+			count++
+		}
+	}
+	return count
+}
+
+// Members returns the session's receivers in ascending order.
+func (s *Session) Members() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.members))
+	for m := range s.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DomainSessions returns the stub-domain IDs in ascending order (for
+// inspection and tests).
+func (s *Session) DomainSessions() []int {
+	out := make([]int, 0, len(s.stubs))
+	for id := range s.stubs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StubTree returns the sub-tree of stub domain id along with its node map.
+func (s *Session) StubTree(id int) (*core.Session, *graph.NodeMap, error) {
+	ds, ok := s.stubs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("hierarchy: no stub domain %d", id)
+	}
+	return ds.session, ds.nm, nil
+}
+
+// TopTree returns the level-0 session and its node map.
+func (s *Session) TopTree() (*core.Session, *graph.NodeMap) {
+	return s.top.session, s.top.nm
+}
+
+// RecoveryReport describes a domain-confined recovery.
+type RecoveryReport struct {
+	// DomainID is the recovery domain that handled the failure (-1 = the
+	// level-0 core domain).
+	DomainID int
+	// Level is 1 for stub domains, 0 for the core.
+	Level int
+	// Heal is the domain-local SMRP recovery report, in the domain's local
+	// ID space.
+	Heal *core.HealReport
+	// NodesInDomain is the size of the domain that had to react — every
+	// other domain is untouched, which is the scalability argument of
+	// §3.3.3.
+	NodesInDomain int
+}
+
+// Recover handles a link failure: the domain containing the failed link
+// heals its own sub-tree with local detours; every other domain is left
+// untouched. Cross-domain uplink failures (stub gateway ↔ transit) are
+// handled in the level-0 domain.
+func (s *Session) Recover(f failure.Failure) (*RecoveryReport, error) {
+	if f.Kind != failure.LinkFailure {
+		return nil, errors.New("hierarchy: only link failures are domain-attributable in this model")
+	}
+	du := s.ts.DomainOf(f.Edge.A)
+	dv := s.ts.DomainOf(f.Edge.B)
+	if du == nil || dv == nil {
+		return nil, ErrFailureOutsideDomains
+	}
+
+	// Same stub domain → level-1 recovery there; anything touching the
+	// transit core or crossing domains → level-0 recovery.
+	if du.Kind == topology.StubDomain && dv.Kind == topology.StubDomain && du.ID == dv.ID {
+		ds := s.stubs[du.ID]
+		rep, err := s.healDomain(ds, f)
+		if err != nil {
+			return nil, err
+		}
+		return &RecoveryReport{
+			DomainID:      du.ID,
+			Level:         1,
+			Heal:          rep,
+			NodesInDomain: len(s.ts.Stubs[indexOfStub(s.ts, du.ID)].Nodes),
+		}, nil
+	}
+	rep, err := s.healDomain(s.top, f)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryReport{
+		DomainID:      -1,
+		Level:         0,
+		Heal:          rep,
+		NodesInDomain: len(s.ts.Transit.Nodes) + len(s.ts.Stubs),
+	}, nil
+}
+
+// healDomain translates the failure into the domain's ID space and heals
+// the sub-session.
+func (s *Session) healDomain(ds *domainSession, f failure.Failure) (*core.HealReport, error) {
+	a, okA := ds.nm.ToSub(f.Edge.A)
+	b, okB := ds.nm.ToSub(f.Edge.B)
+	if !okA || !okB {
+		return nil, fmt.Errorf("hierarchy: failure %v not inside domain %d", f, ds.id)
+	}
+	return ds.session.Heal(failure.LinkDown(a, b))
+}
+
+// indexOfStub finds the slice index of the stub with the given domain ID.
+func indexOfStub(ts *topology.TransitStub, id int) int {
+	for i := range ts.Stubs {
+		if ts.Stubs[i].ID == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// Validate checks every sub-tree's structural invariants.
+func (s *Session) Validate() error {
+	for id, ds := range s.stubs {
+		if err := ds.session.Tree().Validate(); err != nil {
+			return fmt.Errorf("hierarchy: stub %d: %w", id, err)
+		}
+	}
+	if err := s.top.session.Tree().Validate(); err != nil {
+		return fmt.Errorf("hierarchy: top: %w", err)
+	}
+	return nil
+}
+
+// EndToEndDelay computes a member's total delivery delay: source → its
+// domain agent inside the source stub, across the level-0 tree, then down
+// the member's own stub tree. Members in the source's domain use only their
+// stub tree.
+func (s *Session) EndToEndDelay(m graph.NodeID) (float64, error) {
+	if !s.members[m] {
+		return 0, fmt.Errorf("hierarchy: %d is not a member", m)
+	}
+	d := s.ts.DomainOf(m)
+	srcDomain := s.ts.DomainOf(s.source)
+	ds := s.stubs[d.ID]
+
+	// Distance inside m's own stub from the stub root (its agent, or the
+	// true source in the source's domain) down to m.
+	sub, ok := ds.nm.ToSub(m)
+	if !ok {
+		return 0, ErrUnknownNode
+	}
+	inStub, err := ds.session.Tree().DelayTo(sub)
+	if err != nil {
+		return 0, err
+	}
+	if d.ID == srcDomain.ID {
+		return inStub, nil
+	}
+
+	// Source stub: source → its agent.
+	srcDS := s.stubs[srcDomain.ID]
+	agentSub, ok := srcDS.nm.ToSub(srcDS.agent)
+	if !ok {
+		return 0, ErrUnknownNode
+	}
+	toAgent, err := srcDS.session.Tree().DelayTo(agentSub)
+	if err != nil {
+		return 0, err
+	}
+
+	// Level-0 tree: source agent → m's domain agent.
+	topSub, ok := s.top.nm.ToSub(ds.agent)
+	if !ok {
+		return 0, ErrUnknownNode
+	}
+	across, err := s.top.session.Tree().DelayTo(topSub)
+	if err != nil {
+		return 0, err
+	}
+	return toAgent + across + inStub, nil
+}

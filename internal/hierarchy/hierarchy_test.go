@@ -1,0 +1,301 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// buildTS generates the default 4-transit/4-stub topology and returns it
+// with a source placed inside the first stub domain.
+func buildTS(t *testing.T, seed uint64) (*topology.TransitStub, graph.NodeID) {
+	t.Helper()
+	ts, err := topology.GenerateTransitStub(topology.DefaultTransitStubConfig(), topology.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source: a non-gateway node of stub 1.
+	for _, n := range ts.Stubs[0].Nodes {
+		if n != ts.Stubs[0].Gateway {
+			return ts, n
+		}
+	}
+	t.Fatal("no non-gateway node in stub 0")
+	return nil, 0
+}
+
+// pickMembers returns up to k non-gateway, non-source receivers spread over
+// all stub domains.
+func pickMembers(ts *topology.TransitStub, src graph.NodeID, k int) []graph.NodeID {
+	var out []graph.NodeID
+	for round := 0; len(out) < k && round < 16; round++ {
+		for i := range ts.Stubs {
+			if len(out) >= k {
+				break
+			}
+			nodes := ts.Stubs[i].Nodes
+			if round < len(nodes) {
+				n := nodes[round]
+				if n != src && n != ts.Stubs[i].Gateway {
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	ts, _ := buildTS(t, 1)
+	if _, err := New(ts, ts.Transit.Nodes[0], core.DefaultConfig()); err == nil {
+		t.Error("source in transit domain should be rejected")
+	}
+	bad := core.DefaultConfig()
+	bad.DThresh = -1
+	if _, err := New(ts, ts.Stubs[0].Nodes[0], bad); err == nil {
+		t.Error("bad config should be rejected")
+	}
+}
+
+func TestJoinAcrossDomains(t *testing.T) {
+	ts, src := buildTS(t, 2)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := pickMembers(ts, src, 8)
+	for _, m := range members {
+		if err := s.Join(m); err != nil {
+			t.Fatalf("join %d: %v", m, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Members()); got != len(members) {
+		t.Errorf("members = %d, want %d", got, len(members))
+	}
+	// Every member domain's agent sits on the level-0 tree.
+	topSess, topNM := s.TopTree()
+	for _, m := range members {
+		d := ts.DomainOf(m)
+		agentSub, ok := topNM.ToSub(ts.Stubs[indexOfStub(ts, d.ID)].Gateway)
+		if !ok {
+			t.Fatalf("agent of domain %d not in top session", d.ID)
+		}
+		if !topSess.Tree().OnTree(agentSub) {
+			t.Errorf("agent of domain %d not on level-0 tree", d.ID)
+		}
+	}
+	// Duplicate join rejected.
+	if err := s.Join(members[0]); err == nil {
+		t.Error("duplicate join should fail")
+	}
+	// End-to-end delay is positive and finite for every member.
+	for _, m := range members {
+		d, err := s.EndToEndDelay(m)
+		if err != nil {
+			t.Fatalf("delay %d: %v", m, err)
+		}
+		if d <= 0 {
+			t.Errorf("member %d delay = %v", m, d)
+		}
+	}
+}
+
+func TestLeaveEmptiesDomain(t *testing.T) {
+	ts, src := buildTS(t, 3)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One member in a non-source domain.
+	var m graph.NodeID = graph.Invalid
+	for _, n := range ts.Stubs[1].Nodes {
+		if n != ts.Stubs[1].Gateway {
+			m = n
+			break
+		}
+	}
+	if m == graph.Invalid {
+		t.Fatal("no candidate member")
+	}
+	if err := s.Join(m); err != nil {
+		t.Fatal(err)
+	}
+	topSess, topNM := s.TopTree()
+	agentSub, _ := topNM.ToSub(ts.Stubs[1].Gateway)
+	if !topSess.Tree().IsMember(agentSub) {
+		t.Fatal("agent should be on top tree while domain has members")
+	}
+	if err := s.Leave(m); err != nil {
+		t.Fatal(err)
+	}
+	if topSess.Tree().IsMember(agentSub) {
+		t.Error("agent should leave top tree when its domain empties")
+	}
+	if err := s.Leave(m); err == nil {
+		t.Error("double leave should fail")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDomainConfinedRecovery is the §3.3.3 claim: a failure inside one stub
+// domain is recovered entirely within that domain; all other sub-trees are
+// byte-for-byte untouched.
+func TestDomainConfinedRecovery(t *testing.T) {
+	ts, src := buildTS(t, 4)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := pickMembers(ts, src, 8)
+	for _, m := range members {
+		if err := s.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Find a victim member in a non-source stub and its worst-case link
+	// inside that stub.
+	var victim graph.NodeID = graph.Invalid
+	var victimDomain int
+	for _, m := range members {
+		if d := ts.DomainOf(m); d.ID != ts.DomainOf(src).ID {
+			victim, victimDomain = m, d.ID
+			break
+		}
+	}
+	if victim == graph.Invalid {
+		t.Skip("no member outside the source domain in this draw")
+	}
+	sess, nm, err := s.StubTree(victimDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := nm.ToSub(victim)
+	f, err := failure.WorstCaseFor(sess.Tree(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullA, _ := nm.ToFull(f.Edge.A)
+	fullB, _ := nm.ToFull(f.Edge.B)
+
+	// Snapshot all OTHER domains' trees.
+	type snap struct {
+		edges []graph.EdgeID
+	}
+	before := make(map[int]snap)
+	for _, id := range s.DomainSessions() {
+		if id == victimDomain {
+			continue
+		}
+		o, _, err := s.StubTree(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = snap{edges: o.Tree().Edges()}
+	}
+	topBefore := func() []graph.EdgeID { ts, _ := s.TopTree(); return ts.Tree().Edges() }()
+
+	rep, err := s.Recover(failure.LinkDown(fullA, fullB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DomainID != victimDomain || rep.Level != 1 {
+		t.Errorf("recovery attributed to domain %d level %d, want %d level 1", rep.DomainID, rep.Level, victimDomain)
+	}
+	if rep.NodesInDomain >= ts.Graph.NumNodes() {
+		t.Error("recovery scope should be a strict subset of the network")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All other domains untouched.
+	for id, sn := range before {
+		o, _, err := s.StubTree(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := o.Tree().Edges()
+		if len(after) != len(sn.edges) {
+			t.Errorf("domain %d changed during foreign recovery", id)
+			continue
+		}
+		for i := range after {
+			if after[i] != sn.edges[i] {
+				t.Errorf("domain %d edge %d changed", id, i)
+			}
+		}
+	}
+	topAfter := func() []graph.EdgeID { ts, _ := s.TopTree(); return ts.Tree().Edges() }()
+	if len(topBefore) != len(topAfter) {
+		t.Error("level-0 tree changed during stub-confined recovery")
+	}
+}
+
+// TestCoreRecoveryLevel0 checks that transit-core failures are healed in the
+// level-0 domain.
+func TestCoreRecoveryLevel0(t *testing.T) {
+	ts, src := buildTS(t, 5)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pickMembers(ts, src, 6) {
+		if err := s.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail a transit-core link that the level-0 tree actually uses.
+	topSess, topNM := s.TopTree()
+	edges := topSess.Tree().Edges()
+	if len(edges) == 0 {
+		t.Skip("level-0 tree has no edges in this draw")
+	}
+	a, _ := topNM.ToFull(edges[len(edges)-1].A)
+	b, _ := topNM.ToFull(edges[len(edges)-1].B)
+	rep, err := s.Recover(failure.LinkDown(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Level != 0 || rep.DomainID != -1 {
+		t.Errorf("recovery level = %d domain %d, want level 0", rep.Level, rep.DomainID)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverRejectsNodeFailure(t *testing.T) {
+	ts, src := buildTS(t, 6)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(failure.NodeDown(0)); err == nil {
+		t.Error("node failures are not domain-attributable in this model")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	ts, src := buildTS(t, 7)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join(ts.Transit.Nodes[0]); err == nil {
+		t.Error("transit nodes cannot be receivers")
+	}
+	if err := s.Join(graph.NodeID(ts.Graph.NumNodes() + 4)); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if err := s.Leave(ts.Stubs[0].Nodes[0]); err == nil {
+		t.Error("leave of non-member should fail")
+	}
+}

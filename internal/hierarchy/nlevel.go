@@ -1,0 +1,304 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// NLevelSession generalizes the 2-level recovery architecture to an N-level
+// domain hierarchy (the extension §3.3.3 sketches): every domain runs its
+// own SMRP sub-session over its nodes plus its children's gateways; agents
+// relay across levels; a failure is recovered entirely inside the deepest
+// domain containing it.
+type NLevelSession struct {
+	topo   *topology.NLevelTopology
+	cfg    core.Config
+	source graph.NodeID
+
+	// sessions[i] is domain i's sub-session; sourceChain lists domain
+	// indices from the source's domain up to the root.
+	sessions    []*domainSession
+	sourceChain []int
+	onChain     map[int]bool
+	members     map[graph.NodeID]bool
+}
+
+// NewNLevel builds an N-level session over t with the true source at src.
+func NewNLevel(t *topology.NLevelTopology, src graph.NodeID, cfg core.Config) (*NLevelSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srcDom := t.DomainOf(src)
+	if srcDom < 0 {
+		return nil, fmt.Errorf("hierarchy: source %d in no domain", src)
+	}
+	s := &NLevelSession{
+		topo:    t,
+		cfg:     cfg,
+		source:  src,
+		onChain: make(map[int]bool),
+		members: make(map[graph.NodeID]bool),
+	}
+	for d := srcDom; d != -1; d = t.Domains[d].Parent {
+		s.sourceChain = append(s.sourceChain, d)
+		s.onChain[d] = true
+	}
+
+	// Build every domain's sub-session. The session graph covers the
+	// domain's nodes plus its children's gateways. The root of the session:
+	//   - the true source, in the source's own domain;
+	//   - the gateway of the chain child, in ancestors of the source domain
+	//     (the relaying agent, Figure 6's A₁ generalized);
+	//   - the domain's own gateway everywhere else (data arrives from the
+	//     parent through it).
+	s.sessions = make([]*domainSession, len(t.Domains))
+	for i := range t.Domains {
+		d := &t.Domains[i]
+		nodes := append([]graph.NodeID(nil), d.Nodes...)
+		for _, c := range d.Children {
+			nodes = append(nodes, t.Domains[c].Gateway)
+		}
+		root := d.Gateway
+		switch {
+		case i == srcDom:
+			root = src
+		case s.onChain[i]:
+			root = t.Domains[s.chainChild(i)].Gateway
+		}
+		ds, err := newDomainSession(t.Graph, i, nodes, root, d.Gateway, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: domain %d: %w", i, err)
+		}
+		s.sessions[i] = ds
+	}
+
+	// Wire the upward relay chain: in every source-chain domain with a
+	// parent, the domain's own gateway joins as a member so it can push the
+	// stream up into the parent's session (where it is the root).
+	for _, i := range s.sourceChain {
+		d := &t.Domains[i]
+		if d.Parent == -1 {
+			continue
+		}
+		ds := s.sessions[i]
+		if !ds.isMember(d.Gateway) {
+			if _, err := ds.join(d.Gateway); err != nil {
+				return nil, fmt.Errorf("hierarchy: relay agent of domain %d: %w", i, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// chainChild returns the source-chain child of chain domain i.
+func (s *NLevelSession) chainChild(i int) int {
+	for k, d := range s.sourceChain {
+		if d == i && k > 0 {
+			return s.sourceChain[k-1]
+		}
+	}
+	return -1
+}
+
+// Join admits receiver n; agents along the path toward the root join their
+// parent sessions transparently as needed.
+func (s *NLevelSession) Join(n graph.NodeID) error {
+	if s.members[n] {
+		return fmt.Errorf("hierarchy: %d already a member", n)
+	}
+	di := s.topo.DomainOf(n)
+	if di < 0 {
+		return fmt.Errorf("hierarchy: join %d: %w", n, ErrUnknownNode)
+	}
+	ds := s.sessions[di]
+	if !ds.isMember(n) {
+		if _, err := ds.join(n); err != nil {
+			return fmt.Errorf("hierarchy: join %d in domain %d: %w", n, di, err)
+		}
+	}
+	s.members[n] = true
+	// Hook the domain chain into the delivery structure: for every domain
+	// from n's up to (but excluding) the first that already carries the
+	// stream, the domain's gateway joins the parent session.
+	for d := di; d != -1; d = s.topo.Domains[d].Parent {
+		if s.onChain[d] {
+			break // the source chain always carries the stream
+		}
+		parent := s.topo.Domains[d].Parent
+		if parent == -1 {
+			break
+		}
+		gw := s.topo.Domains[d].Gateway
+		ps := s.sessions[parent]
+		if ps.isMember(gw) || gw == ps.agentRoot() {
+			break // already delivered here
+		}
+		if _, err := ps.join(gw); err != nil {
+			return fmt.Errorf("hierarchy: agent %d join domain %d: %w", gw, parent, err)
+		}
+	}
+	return nil
+}
+
+// agentRoot returns the domain session's root in full-graph IDs.
+func (d *domainSession) agentRoot() graph.NodeID {
+	sub := d.session.Tree().Source()
+	full, _ := d.nm.ToFull(sub)
+	return full
+}
+
+// Leave removes receiver n. Agent chains are left in place (they expire via
+// soft state in a deployment; Validate tolerates relay-only domains).
+func (s *NLevelSession) Leave(n graph.NodeID) error {
+	if !s.members[n] {
+		return fmt.Errorf("hierarchy: %d is not a member", n)
+	}
+	di := s.topo.DomainOf(n)
+	ds := s.sessions[di]
+	gwRelay := s.onChain[di] && n == s.topo.Domains[di].Gateway
+	if !gwRelay {
+		if err := ds.leave(n); err != nil {
+			return err
+		}
+	}
+	delete(s.members, n)
+	return nil
+}
+
+// Members returns the receivers in ascending order.
+func (s *NLevelSession) Members() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.members))
+	for m := range s.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DomainSession exposes domain i's sub-session and node map.
+func (s *NLevelSession) DomainSession(i int) (*core.Session, *graph.NodeMap, error) {
+	if i < 0 || i >= len(s.sessions) {
+		return nil, nil, fmt.Errorf("hierarchy: no domain %d", i)
+	}
+	return s.sessions[i].session, s.sessions[i].nm, nil
+}
+
+// EndToEndDelay computes the delivery delay to member m across the domain
+// hierarchy: up the source chain agent by agent to the deepest common
+// ancestor, then down the member's chain gateway by gateway.
+func (s *NLevelSession) EndToEndDelay(m graph.NodeID) (float64, error) {
+	if !s.members[m] {
+		return 0, fmt.Errorf("hierarchy: %d is not a member", m)
+	}
+	// Member's chain from its domain up to the root.
+	var mChain []int
+	for d := s.topo.DomainOf(m); d != -1; d = s.topo.Domains[d].Parent {
+		mChain = append(mChain, d)
+	}
+	onMChain := make(map[int]int, len(mChain)) // domain → position
+	for k, d := range mChain {
+		onMChain[d] = k
+	}
+	// Ascend the source chain accumulating agent-relay delay until hitting
+	// a domain on m's chain (the deepest common ancestor).
+	var cum float64
+	common := -1
+	for _, d := range s.sourceChain {
+		if _, ok := onMChain[d]; ok {
+			common = d
+			break
+		}
+		// Delay from this domain's session root to its gateway (the relay
+		// handoff into the parent, where that gateway is the root).
+		v, err := s.delayIn(d, s.topo.Domains[d].Gateway)
+		if err != nil {
+			return 0, err
+		}
+		cum += v
+	}
+	if common == -1 {
+		return 0, errors.New("hierarchy: domain chains share no ancestor")
+	}
+	// Descend from the common ancestor to m.
+	for k := onMChain[common]; k >= 0; k-- {
+		d := mChain[k]
+		target := m
+		if k > 0 {
+			target = s.topo.Domains[mChain[k-1]].Gateway
+		}
+		v, err := s.delayIn(d, target)
+		if err != nil {
+			return 0, err
+		}
+		cum += v
+	}
+	return cum, nil
+}
+
+// delayIn returns the delay from domain d's session root to node n (full
+// IDs).
+func (s *NLevelSession) delayIn(d int, n graph.NodeID) (float64, error) {
+	ds := s.sessions[d]
+	sub, ok := ds.nm.ToSub(n)
+	if !ok {
+		return 0, fmt.Errorf("hierarchy: node %d not in domain %d", n, d)
+	}
+	return ds.session.Tree().DelayTo(sub)
+}
+
+// Recover heals a link failure inside the deepest domain containing both
+// endpoints (cross-level gateway uplinks belong to the parent domain). All
+// other domains are untouched.
+func (s *NLevelSession) Recover(f failure.Failure) (*RecoveryReport, error) {
+	if f.Kind != failure.LinkFailure {
+		return nil, errors.New("hierarchy: only link failures are domain-attributable in this model")
+	}
+	du := s.topo.DomainOf(f.Edge.A)
+	dv := s.topo.DomainOf(f.Edge.B)
+	if du < 0 || dv < 0 {
+		return nil, ErrFailureOutsideDomains
+	}
+	target := du
+	if du != dv {
+		// A gateway uplink: handled by the parent side.
+		if s.topo.Domains[du].Parent == dv {
+			target = dv
+		} else if s.topo.Domains[dv].Parent == du {
+			target = du
+		} else {
+			return nil, fmt.Errorf("hierarchy: edge %v spans unrelated domains %d/%d", f.Edge, du, dv)
+		}
+	}
+	ds := s.sessions[target]
+	a, okA := ds.nm.ToSub(f.Edge.A)
+	b, okB := ds.nm.ToSub(f.Edge.B)
+	if !okA || !okB {
+		return nil, fmt.Errorf("hierarchy: failure %v not inside domain %d's session", f, target)
+	}
+	rep, err := ds.session.Heal(failure.LinkDown(a, b))
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryReport{
+		DomainID:      target,
+		Level:         s.topo.Domains[target].Level,
+		Heal:          rep,
+		NodesInDomain: len(s.topo.Domains[target].Nodes) + len(s.topo.Domains[target].Children),
+	}, nil
+}
+
+// Validate checks every domain session's structural invariants.
+func (s *NLevelSession) Validate() error {
+	for i, ds := range s.sessions {
+		if err := ds.session.Tree().Validate(); err != nil {
+			return fmt.Errorf("hierarchy: domain %d: %w", i, err)
+		}
+	}
+	return nil
+}

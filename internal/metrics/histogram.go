@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the sample using
+// linear interpolation between order statistics. It errors on empty samples
+// or out-of-range p.
+func (s *Sample) Percentile(p float64) (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrEmptySample
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %v out of [0, 100]", p)
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() (float64, error) { return s.Percentile(50) }
+
+// Histogram buckets a sample into equal-width bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// HistogramOf builds a histogram with the given number of bins spanning
+// [min, max] of the sample. It errors on empty samples or bins < 1.
+func (s *Sample) HistogramOf(bins int) (*Histogram, error) {
+	if len(s.values) == 0 {
+		return nil, ErrEmptySample
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("metrics: %d bins, need at least 1", bins)
+	}
+	h := &Histogram{Lo: s.Min(), Hi: s.Max(), Counts: make([]int, bins)}
+	width := (h.Hi - h.Lo) / float64(bins)
+	for _, v := range s.values {
+		idx := 0
+		if width > 0 {
+			idx = int((v - h.Lo) / width)
+			if idx >= bins {
+				idx = bins - 1 // the max lands in the last bin
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Render draws the histogram as ASCII bars of at most barWidth characters.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.3f, %8.3f) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c,
+			strings.Repeat("█", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4, 5)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 25, want: 2},
+		{p: 50, want: 3},
+		{p: 75, want: 4},
+		{p: 100, want: 5},
+		{p: 90, want: 4.6},
+	}
+	for _, tt := range tests {
+		got, err := s.Percentile(tt.p)
+		if err != nil {
+			t.Fatalf("p%.0f: %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("p%.0f = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if m, err := s.Median(); err != nil || m != 3 {
+		t.Errorf("median = %v, %v", m, err)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	var empty Sample
+	if _, err := empty.Percentile(50); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("empty err = %v", err)
+	}
+	var s Sample
+	s.Add(1)
+	if _, err := s.Percentile(-1); err == nil {
+		t.Error("p < 0 should error")
+	}
+	if _, err := s.Percentile(101); err == nil {
+		t.Error("p > 100 should error")
+	}
+	if v, err := s.Percentile(30); err != nil || v != 1 {
+		t.Errorf("single-value percentile = %v, %v", v, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Sample
+	s.AddAll(0, 0.1, 0.2, 0.9, 1.0)
+	h, err := s.HistogramOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Lo != 0 || h.Hi != 1 {
+		t.Errorf("range = [%v, %v]", h.Lo, h.Hi)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "3") {
+		t.Errorf("render = %q", out)
+	}
+	// Degenerate bar width falls back to a default.
+	if h.Render(0) == "" {
+		t.Error("render with bad width should still draw")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	var empty Sample
+	if _, err := empty.HistogramOf(3); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("empty err = %v", err)
+	}
+	var s Sample
+	s.Add(1)
+	if _, err := s.HistogramOf(0); err == nil {
+		t.Error("0 bins should error")
+	}
+	// All-identical values: everything in one bin.
+	var same Sample
+	same.AddAll(2, 2, 2)
+	h, err := same.HistogramOf(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram counts = %v", h.Counts)
+	}
+}

@@ -1,0 +1,128 @@
+package multicast
+
+import (
+	"errors"
+	"testing"
+
+	"smrp/internal/graph"
+)
+
+// chainTree builds S(0)→1→2→3 with members at 2 and 3 on the line graph
+// 0-1-2-3-4.
+func chainTree(t *testing.T) *Tree {
+	t.Helper()
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Graft(graph.Path{0, 1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Graft(graph.Path{2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	tr := chainTree(t)
+	if err := tr.RemoveSubtree(2); err != nil {
+		t.Fatal(err)
+	}
+	// 2 and 3 gone; relay 1 pruned because nothing remains below it.
+	for _, n := range []graph.NodeID{1, 2, 3} {
+		if tr.OnTree(n) {
+			t.Errorf("node %d should be gone", n)
+		}
+	}
+	if tr.NumMembers() != 0 {
+		t.Errorf("members = %v", tr.Members())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSubtreeErrors(t *testing.T) {
+	tr := chainTree(t)
+	if err := tr.RemoveSubtree(4); !errors.Is(err, ErrNotOnTree) {
+		t.Errorf("off-tree err = %v", err)
+	}
+	if err := tr.RemoveSubtree(0); err == nil {
+		t.Error("removing the source must fail")
+	}
+}
+
+func TestDetachSubtreeKeepsRelays(t *testing.T) {
+	tr := chainTree(t)
+	if err := tr.DetachSubtree(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OnTree(2) || tr.OnTree(3) {
+		t.Error("detached nodes should be gone")
+	}
+	if !tr.OnTree(1) {
+		t.Error("relay 1 must survive a detach (soft state not expired)")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// PruneStale then reclaims the leftover relay.
+	removed := tr.PruneStale()
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Errorf("PruneStale removed %v, want [1]", removed)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("nodes = %v", tr.Nodes())
+	}
+}
+
+func TestDetachSubtreeErrors(t *testing.T) {
+	tr := chainTree(t)
+	if err := tr.DetachSubtree(0); err == nil {
+		t.Error("detaching the source must fail")
+	}
+	if err := tr.DetachSubtree(4); !errors.Is(err, ErrNotOnTree) {
+		t.Errorf("off-tree err = %v", err)
+	}
+}
+
+func TestPruneStaleKeepsMembersAndSource(t *testing.T) {
+	tr := chainTree(t)
+	if got := tr.PruneStale(); len(got) != 0 {
+		t.Errorf("nothing is stale, removed %v", got)
+	}
+	// Interior ex-member chain: member 3 leaves → nothing stale (2 still a
+	// member); member 2 leaves → chain pruned by Leave itself.
+	if err := tr.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PruneStale(); len(got) != 0 {
+		t.Errorf("removed %v after leaf leave", got)
+	}
+}
+
+func TestPruneStaleChain(t *testing.T) {
+	tr := chainTree(t)
+	// Manually orphan the chain: unmark members without pruning by
+	// detaching the deepest member only.
+	if err := tr.DetachSubtree(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DetachSubtree(2); err != nil {
+		t.Fatal(err)
+	}
+	removed := tr.PruneStale()
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Errorf("removed %v, want [1]", removed)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

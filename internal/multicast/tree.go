@@ -1,0 +1,549 @@
+// Package multicast provides the shared multicast-tree substrate used by
+// both the SMRP protocol (internal/core) and the SPF-based baseline
+// (internal/spfbase): a source-rooted tree overlaid on a network graph, with
+// member bookkeeping, grafting/pruning, rerouting, per-member delay, tree
+// cost, and structural validation.
+//
+// Terminology follows the paper: the tree is rooted at the multicast source
+// S; "members" are receivers (which may be interior nodes); N_R is the
+// number of members in the subtree rooted at R.
+package multicast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smrp/internal/graph"
+)
+
+// Sentinel errors returned by tree mutations.
+var (
+	// ErrNotOnTree is returned when an operation names a node that is not
+	// part of the tree.
+	ErrNotOnTree = errors.New("multicast: node not on tree")
+	// ErrAlreadyOnTree is returned when a graft would re-add an on-tree node.
+	ErrAlreadyOnTree = errors.New("multicast: node already on tree")
+	// ErrNotMember is returned when a member operation names a non-member.
+	ErrNotMember = errors.New("multicast: node is not a member")
+)
+
+// Tree is a source-rooted multicast tree overlaid on a Graph. The zero value
+// is not usable; construct with New.
+//
+// Tree is not safe for concurrent mutation.
+type Tree struct {
+	g        *graph.Graph
+	source   graph.NodeID
+	parent   map[graph.NodeID]graph.NodeID
+	children map[graph.NodeID][]graph.NodeID
+	members  map[graph.NodeID]bool
+}
+
+// New returns an empty tree on g rooted at source. The source is on the
+// tree from the start (as in PIM, the root's state always exists).
+func New(g *graph.Graph, source graph.NodeID) (*Tree, error) {
+	if source < 0 || int(source) >= g.NumNodes() {
+		return nil, fmt.Errorf("multicast: source %d not in graph", source)
+	}
+	return &Tree{
+		g:        g,
+		source:   source,
+		parent:   map[graph.NodeID]graph.NodeID{source: graph.Invalid},
+		children: make(map[graph.NodeID][]graph.NodeID),
+		members:  make(map[graph.NodeID]bool),
+	}, nil
+}
+
+// Graph returns the underlying network graph.
+func (t *Tree) Graph() *graph.Graph { return t.g }
+
+// Source returns the tree's root.
+func (t *Tree) Source() graph.NodeID { return t.source }
+
+// OnTree reports whether n currently has tree state.
+func (t *Tree) OnTree(n graph.NodeID) bool {
+	_, ok := t.parent[n]
+	return ok
+}
+
+// IsMember reports whether n is a receiver of the session.
+func (t *Tree) IsMember(n graph.NodeID) bool { return t.members[n] }
+
+// Parent returns the upstream node of n (Invalid for the source) and whether
+// n is on the tree.
+func (t *Tree) Parent(n graph.NodeID) (graph.NodeID, bool) {
+	p, ok := t.parent[n]
+	return p, ok
+}
+
+// Children returns a copy of n's downstream neighbors, in ascending order.
+func (t *Tree) Children(n graph.NodeID) []graph.NodeID {
+	kids := t.children[n]
+	out := make([]graph.NodeID, len(kids))
+	copy(out, kids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Members returns the current receivers in ascending order.
+func (t *Tree) Members() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.members))
+	for m := range t.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumMembers returns the number of receivers.
+func (t *Tree) NumMembers() int { return len(t.members) }
+
+// Nodes returns all on-tree nodes in ascending order (the source is always
+// included).
+func (t *Tree) Nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.parent))
+	for n := range t.parent {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the number of on-tree nodes.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// Edges returns the tree's edges as canonical EdgeIDs in deterministic
+// order.
+func (t *Tree) Edges() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(t.parent)-1)
+	for n, p := range t.parent {
+		if p != graph.Invalid {
+			out = append(out, graph.MakeEdgeID(n, p))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// UsesEdge reports whether the tree traverses the undirected edge e.
+func (t *Tree) UsesEdge(e graph.EdgeID) bool {
+	if p, ok := t.parent[e.A]; ok && p == e.B {
+		return true
+	}
+	if p, ok := t.parent[e.B]; ok && p == e.A {
+		return true
+	}
+	return false
+}
+
+// PathToSource returns the on-tree path from n up to the source (n first).
+func (t *Tree) PathToSource(n graph.NodeID) (graph.Path, error) {
+	if !t.OnTree(n) {
+		return nil, fmt.Errorf("path to source from %d: %w", n, ErrNotOnTree)
+	}
+	var p graph.Path
+	for cur := n; cur != graph.Invalid; cur = t.parent[cur] {
+		p = append(p, cur)
+		if len(p) > t.g.NumNodes() {
+			return nil, fmt.Errorf("path to source from %d: cycle in tree", n)
+		}
+	}
+	return p, nil
+}
+
+// DelayTo returns the total weight of the on-tree path from the source to n
+// (the end-to-end delay D_{S,R} of the paper).
+func (t *Tree) DelayTo(n graph.NodeID) (float64, error) {
+	p, err := t.PathToSource(n)
+	if err != nil {
+		return 0, err
+	}
+	return p.Weight(t.g)
+}
+
+// Cost returns the sum of all tree-edge weights (the paper's Cost_T).
+func (t *Tree) Cost() (float64, error) {
+	var total float64
+	for n, p := range t.parent {
+		if p == graph.Invalid {
+			continue
+		}
+		w, ok := t.g.EdgeWeight(n, p)
+		if !ok {
+			return 0, fmt.Errorf("tree cost: %d-%d is not a graph edge", n, p)
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// Graft extends the tree along p, which must run from an on-tree node
+// (p.First(), the merger) to the joining node (p.Last()); every intermediate
+// node must be off-tree. The final node becomes a member when markMember is
+// true. A single-node path (member already on tree, e.g. an on-tree router
+// becoming a receiver) is allowed.
+func (t *Tree) Graft(p graph.Path, markMember bool) error {
+	if len(p) == 0 {
+		return errors.New("multicast: graft of empty path")
+	}
+	if !t.OnTree(p.First()) {
+		return fmt.Errorf("graft at %d: %w", p.First(), ErrNotOnTree)
+	}
+	if err := p.Validate(t.g); err != nil {
+		return fmt.Errorf("graft: %w", err)
+	}
+	for _, n := range p[1:] {
+		if t.OnTree(n) {
+			return fmt.Errorf("graft through %d: %w", n, ErrAlreadyOnTree)
+		}
+	}
+	if !p.IsSimple() {
+		return errors.New("multicast: graft path is not simple")
+	}
+	for i := 1; i < len(p); i++ {
+		t.attach(p[i], p[i-1])
+	}
+	if markMember {
+		t.members[p.Last()] = true
+	}
+	return nil
+}
+
+// attach links child under par (both assumed consistent with caller checks).
+func (t *Tree) attach(child, par graph.NodeID) {
+	t.parent[child] = par
+	t.children[par] = append(t.children[par], child)
+}
+
+// detach unlinks child from its parent without pruning.
+func (t *Tree) detach(child graph.NodeID) {
+	par := t.parent[child]
+	if par != graph.Invalid {
+		kids := t.children[par]
+		for i, k := range kids {
+			if k == child {
+				t.children[par] = append(kids[:i], kids[i+1:]...)
+				break
+			}
+		}
+		if len(t.children[par]) == 0 {
+			delete(t.children, par)
+		}
+	}
+	delete(t.parent, child)
+}
+
+// Leave removes member m from the session and prunes the now-unneeded chain
+// of relays toward the source, mirroring the paper's Leave_Req processing:
+// state is cleared hop by hop until a node with remaining downstream members
+// (or the source, or another member) is reached.
+func (t *Tree) Leave(m graph.NodeID) error {
+	if !t.members[m] {
+		return fmt.Errorf("leave %d: %w", m, ErrNotMember)
+	}
+	delete(t.members, m)
+	t.pruneUpward(m)
+	return nil
+}
+
+// pruneUpward removes n and its ancestors while they are leaf relays
+// (no children, not a member, not the source).
+func (t *Tree) pruneUpward(n graph.NodeID) {
+	for n != graph.Invalid && n != t.source && len(t.children[n]) == 0 && !t.members[n] {
+		par := t.parent[n]
+		t.detach(n)
+		n = par
+	}
+}
+
+// SubtreeNodes returns all nodes in the subtree rooted at r (including r),
+// in ascending order.
+func (t *Tree) SubtreeNodes(r graph.NodeID) ([]graph.NodeID, error) {
+	if !t.OnTree(r) {
+		return nil, fmt.Errorf("subtree of %d: %w", r, ErrNotOnTree)
+	}
+	var out []graph.NodeID
+	stack := []graph.NodeID{r}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		stack = append(stack, t.children[n]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MemberCount returns N_R, the number of members in the subtree rooted at r.
+func (t *Tree) MemberCount(r graph.NodeID) (int, error) {
+	nodes, err := t.SubtreeNodes(r)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, n := range nodes {
+		if t.members[n] {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// MemberCounts returns N_R for every on-tree node in a single bottom-up
+// pass; the map is keyed by node ID.
+func (t *Tree) MemberCounts() map[graph.NodeID]int {
+	counts := make(map[graph.NodeID]int, len(t.parent))
+	// Post-order accumulate: iterative DFS with an explicit visit stack.
+	type frame struct {
+		node    graph.NodeID
+		visited bool
+	}
+	stack := []frame{{node: t.source}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.visited {
+			c := 0
+			if t.members[f.node] {
+				c = 1
+			}
+			for _, k := range t.children[f.node] {
+				c += counts[k]
+			}
+			counts[f.node] = c
+			continue
+		}
+		stack = append(stack, frame{node: f.node, visited: true})
+		for _, k := range t.children[f.node] {
+			stack = append(stack, frame{node: k})
+		}
+	}
+	return counts
+}
+
+// Reroute moves member m (together with its whole subtree) onto newPath,
+// which must run from an on-tree merger (newPath.First()) to m
+// (newPath.Last()); intermediates must be off-tree, and the merger must not
+// lie inside m's own subtree (that would create a cycle). The old upstream
+// chain is pruned as in Leave. This implements the switch step of the
+// paper's tree-reshaping procedure (§3.2.3).
+func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
+	if !t.OnTree(m) {
+		return fmt.Errorf("reroute %d: %w", m, ErrNotOnTree)
+	}
+	if len(newPath) < 2 {
+		return errors.New("multicast: reroute path must have at least one edge")
+	}
+	if newPath.Last() != m {
+		return fmt.Errorf("reroute: path ends at %d, not member %d", newPath.Last(), m)
+	}
+	if err := newPath.Validate(t.g); err != nil {
+		return fmt.Errorf("reroute: %w", err)
+	}
+	if !newPath.IsSimple() {
+		return errors.New("multicast: reroute path is not simple")
+	}
+	merger := newPath.First()
+	if !t.OnTree(merger) {
+		return fmt.Errorf("reroute merger %d: %w", merger, ErrNotOnTree)
+	}
+	sub, err := t.SubtreeNodes(m)
+	if err != nil {
+		return err
+	}
+	inSub := make(map[graph.NodeID]bool, len(sub))
+	for _, n := range sub {
+		inSub[n] = true
+	}
+	if inSub[merger] {
+		return fmt.Errorf("reroute: merger %d is inside %d's subtree", merger, m)
+	}
+	for _, n := range newPath[1 : len(newPath)-1] {
+		if t.OnTree(n) {
+			return fmt.Errorf("reroute through %d: %w", n, ErrAlreadyOnTree)
+		}
+	}
+	oldParent := t.parent[m]
+	t.detach(m)
+	// Attach the new chain from the merger down to m.
+	for i := 1; i < len(newPath); i++ {
+		if newPath[i] == m {
+			t.attach(m, newPath[i-1])
+		} else {
+			t.attach(newPath[i], newPath[i-1])
+		}
+	}
+	t.pruneUpward(oldParent)
+	return nil
+}
+
+// RemoveSubtree deletes r and every node below it from the tree (members
+// included) and prunes the now-unneeded relay chain above r. Removing the
+// source is rejected. SMRP's reshaping uses this on a clone to evaluate SHR
+// values "as if" the reshaping member's subtree had left (the adjustment
+// step of §3.2.3).
+func (t *Tree) RemoveSubtree(r graph.NodeID) error {
+	if !t.OnTree(r) {
+		return fmt.Errorf("remove subtree %d: %w", r, ErrNotOnTree)
+	}
+	if r == t.source {
+		return errors.New("multicast: cannot remove the source's subtree")
+	}
+	sub, err := t.SubtreeNodes(r)
+	if err != nil {
+		return err
+	}
+	oldParent := t.parent[r]
+	t.detach(r)
+	for _, n := range sub {
+		delete(t.parent, n)
+		delete(t.children, n)
+		delete(t.members, n)
+	}
+	t.pruneUpward(oldParent)
+	return nil
+}
+
+// DetachSubtree removes r and every node below it like RemoveSubtree, but
+// leaves the relay chain above r in place even if it no longer serves any
+// member. Failure recovery uses this to flush dead state while keeping
+// surviving relays (whose soft state has not yet expired) available as
+// local-detour targets; PruneStale reclaims them afterwards.
+func (t *Tree) DetachSubtree(r graph.NodeID) error {
+	if !t.OnTree(r) {
+		return fmt.Errorf("detach subtree %d: %w", r, ErrNotOnTree)
+	}
+	if r == t.source {
+		return errors.New("multicast: cannot detach the source's subtree")
+	}
+	sub, err := t.SubtreeNodes(r)
+	if err != nil {
+		return err
+	}
+	t.detach(r)
+	for _, n := range sub {
+		delete(t.parent, n)
+		delete(t.children, n)
+		delete(t.members, n)
+	}
+	return nil
+}
+
+// PruneStale removes every relay chain that serves no member (childless,
+// non-member, non-source nodes, applied to fixpoint), modeling soft-state
+// expiry of branches left behind by recovery. It returns the nodes removed.
+func (t *Tree) PruneStale() []graph.NodeID {
+	var removed []graph.NodeID
+	for {
+		var victims []graph.NodeID
+		for n := range t.parent {
+			if n != t.source && len(t.children[n]) == 0 && !t.members[n] {
+				victims = append(victims, n)
+			}
+		}
+		if len(victims) == 0 {
+			sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+			return removed
+		}
+		for _, n := range victims {
+			t.detach(n)
+			removed = append(removed, n)
+		}
+	}
+}
+
+// Clone returns a deep copy of the tree sharing the same graph.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		g:        t.g,
+		source:   t.source,
+		parent:   make(map[graph.NodeID]graph.NodeID, len(t.parent)),
+		children: make(map[graph.NodeID][]graph.NodeID, len(t.children)),
+		members:  make(map[graph.NodeID]bool, len(t.members)),
+	}
+	for n, p := range t.parent {
+		c.parent[n] = p
+	}
+	for n, kids := range t.children {
+		cp := make([]graph.NodeID, len(kids))
+		copy(cp, kids)
+		c.children[n] = cp
+	}
+	for m := range t.members {
+		c.members[m] = true
+	}
+	return c
+}
+
+// Validate checks the tree's structural invariants: every non-source node
+// has a parent reachable from the source, parent/children maps agree, every
+// tree edge exists in the graph, and members are on the tree. It returns the
+// first violation found.
+func (t *Tree) Validate() error {
+	if _, ok := t.parent[t.source]; !ok {
+		return errors.New("multicast: source missing from tree")
+	}
+	if t.parent[t.source] != graph.Invalid {
+		return errors.New("multicast: source has a parent")
+	}
+	// children↔parent agreement and edge existence.
+	for n, p := range t.parent {
+		if p == graph.Invalid {
+			if n != t.source {
+				return fmt.Errorf("multicast: node %d has no parent but is not the source", n)
+			}
+			continue
+		}
+		if !t.g.HasEdge(n, p) {
+			return fmt.Errorf("multicast: tree link %d-%d is not a graph edge", n, p)
+		}
+		found := false
+		for _, k := range t.children[p] {
+			if k == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("multicast: %d not recorded as child of %d", n, p)
+		}
+	}
+	for p, kids := range t.children {
+		for _, k := range kids {
+			if t.parent[k] != p {
+				return fmt.Errorf("multicast: child %d of %d has parent %v", k, p, t.parent[k])
+			}
+		}
+	}
+	// Reachability (no cycles, no orphan islands).
+	reached := 0
+	stack := []graph.NodeID{t.source}
+	seen := map[graph.NodeID]bool{t.source: true}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		reached++
+		for _, k := range t.children[n] {
+			if seen[k] {
+				return fmt.Errorf("multicast: node %d reached twice (cycle)", k)
+			}
+			seen[k] = true
+			stack = append(stack, k)
+		}
+	}
+	if reached != len(t.parent) {
+		return fmt.Errorf("multicast: %d nodes on tree but only %d reachable from source", len(t.parent), reached)
+	}
+	for m := range t.members {
+		if !t.OnTree(m) {
+			return fmt.Errorf("multicast: member %d not on tree", m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package protect
+
+import (
+	"errors"
+	"testing"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// biconnWaxman samples a connected Waxman graph and densifies it until it is
+// biconnected (adds shortest chords around articulation points).
+func biconnWaxman(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	rng := topology.NewRNG(seed)
+	for tries := 0; tries < 50; tries++ {
+		g, err := topology.Waxman(topology.WaxmanConfig{
+			N: n, Alpha: 0.6, Beta: 0.4, EnsureConnected: true,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Biconnected(nil) {
+			return g
+		}
+	}
+	t.Skip("no biconnected sample drawn")
+	return nil
+}
+
+func ring(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildRedundantTreesRing(t *testing.T) {
+	g := ring(t, 6)
+	rt, err := BuildRedundantTrees(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m < 6; m++ {
+		if err := rt.Subscribe(graph.NodeID(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// On a ring, the two trees are the two directions; combined cost covers
+	// (almost) every edge.
+	c, err := rt.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 6 {
+		t.Errorf("combined cost %v suspiciously low for a 6-ring", c)
+	}
+}
+
+func TestRedundantTreesSurviveEverySingleFailure(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := biconnWaxman(t, 30, seed+100)
+		rt, err := BuildRedundantTrees(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := topology.NewRNG(seed)
+		for _, m := range rng.Sample(29, 8) {
+			if err := rt.Subscribe(graph.NodeID(m + 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Every single-link failure leaves every member reachable by at
+		// least one tree.
+		for _, e := range g.Edges() {
+			mask := failure.LinkDown(e.A, e.B).Mask()
+			for _, m := range rt.Red.Members() {
+				r := rt.Survives(mask, m)
+				if !r.ViaRed && !r.ViaBlue {
+					t.Fatalf("seed %d: member %d unprotected against %v", seed, m, e)
+				}
+			}
+		}
+		// Every single-node failure (excluding source and the member).
+		for v := 1; v < g.NumNodes(); v++ {
+			mask := failure.NodeDown(graph.NodeID(v)).Mask()
+			for _, m := range rt.Red.Members() {
+				if graph.NodeID(v) == m {
+					continue
+				}
+				r := rt.Survives(mask, m)
+				if !r.ViaRed && !r.ViaBlue {
+					t.Fatalf("seed %d: member %d unprotected against node %d", seed, m, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildRedundantTreesRejectsNonBiconnected(t *testing.T) {
+	g, err := topology.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildRedundantTrees(g, 0); !errors.Is(err, graph.ErrNotBiconnected) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := BuildRedundantTrees(g, 99); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestDependableSessionBasics(t *testing.T) {
+	g := ring(t, 6)
+	s, err := NewDependableSession(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := s.Join(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conn.Disjoint {
+		t.Error("ring offers fully disjoint backup")
+	}
+	// Primary and backup go opposite ways around the ring.
+	if conn.Primary.Last() != 0 || conn.Backup.Last() != 0 {
+		t.Error("paths must end at the source")
+	}
+	if _, err := s.Join(3); err == nil {
+		t.Error("double join should fail")
+	}
+	if got := s.Members(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("members = %v", got)
+	}
+	if _, ok := s.Connection(3); !ok {
+		t.Error("connection lookup failed")
+	}
+	cost, err := s.ReservedCost()
+	if err != nil || cost != 6 {
+		t.Errorf("reserved cost = %v (%v), want 6 (3 + 3 around the ring)", cost, err)
+	}
+	if err := s.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave(3); err == nil {
+		t.Error("double leave should fail")
+	}
+}
+
+func TestDependableFailover(t *testing.T) {
+	g := ring(t, 6)
+	s, err := NewDependableSession(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := s.Connection(2)
+
+	// A failure missing both paths.
+	out, err := s.Failover(graph.NewMask(), 2)
+	if err != nil || out != PrimaryUnaffected {
+		t.Errorf("outcome = %v, %v", out, err)
+	}
+	// Kill the primary's first hop.
+	mask := failure.LinkDown(conn.Primary[0], conn.Primary[1]).Mask()
+	out, err = s.Failover(mask, 2)
+	if err != nil || out != SwitchedToBackup {
+		t.Errorf("outcome = %v, %v", out, err)
+	}
+	// Kill one link of each direction: both channels down.
+	both := failure.LinkDown(conn.Primary[0], conn.Primary[1]).Mask().
+		Union(failure.LinkDown(conn.Backup[0], conn.Backup[1]).Mask())
+	out, err = s.Failover(both, 2)
+	if err != nil || out != BothChannelsDown {
+		t.Errorf("outcome = %v, %v", out, err)
+	}
+	if _, err := s.Failover(mask, 5); err == nil {
+		t.Error("failover of non-member should error")
+	}
+}
+
+func TestDependableBackupOnBridgyGraph(t *testing.T) {
+	// Line graph: no disjoint backup exists; the fallback reuses primary
+	// links (Disjoint = false) rather than failing.
+	g, err := topology.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDependableSession(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := s.Join(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Disjoint {
+		t.Error("line graph cannot offer a disjoint backup")
+	}
+	if conn.Backup == nil {
+		t.Error("fallback backup missing")
+	}
+}
+
+func TestFailoverOutcomeString(t *testing.T) {
+	if PrimaryUnaffected.String() == "" || SwitchedToBackup.String() == "" ||
+		BothChannelsDown.String() == "" || FailoverOutcome(0).String() == "" {
+		t.Error("outcome strings must render")
+	}
+}
+
+func TestDependableUnreachableMember(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDependableSession(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(2); err == nil {
+		t.Error("unreachable member should fail")
+	}
+	if _, err := NewDependableSession(g, 9); err == nil {
+		t.Error("bad source should fail")
+	}
+}
+
+func TestPrunedCostBelowSpanningCost(t *testing.T) {
+	g := ring(t, 8)
+	rt, err := BuildRedundantTrees(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Subscribe(2); err != nil {
+		t.Fatal(err)
+	}
+	full, err := rt.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := rt.PrunedCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned >= full {
+		t.Errorf("pruned cost %v should be below spanning cost %v", pruned, full)
+	}
+	// Pruning for accounting must not mutate the real trees.
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Red.NumNodes(); got != 8 {
+		t.Errorf("red tree mutated: %d nodes", got)
+	}
+}

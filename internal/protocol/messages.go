@@ -1,0 +1,53 @@
+// Package protocol runs SMRP and the SPF baseline as message-level protocols
+// on the discrete-event simulator: explicit Join_Req/Leave_Req propagation,
+// soft-state refresh, failure detection and notification, neighbor queries,
+// and — the paper's motivation — service-restoration latency:
+//
+//   - SMRP recovers after failure detection plus a local query round-trip
+//     and a short join along the detour;
+//   - the SPF baseline must first wait for unicast routing to reconverge
+//     (detection + LSA flooding + SPF recomputation) before rejoining.
+//
+// Protocol decisions are delegated to the algorithmic layer (internal/core,
+// internal/spfbase), keeping the two layers behaviourally identical (this is
+// property-tested); the event layer contributes timing, message accounting,
+// and loss-on-failure semantics.
+package protocol
+
+import (
+	"smrp/internal/eventsim"
+	"smrp/internal/graph"
+)
+
+// JoinReq asks the tree to graft the sender along a chosen path.
+type JoinReq struct {
+	Member graph.NodeID
+	Path   graph.Path // merger → … → member (the path being set up)
+}
+
+// LeaveReq tears down the sender's membership.
+type LeaveReq struct {
+	Member graph.NodeID
+}
+
+// Refresh keeps a member's soft state alive along its tree path.
+type Refresh struct {
+	Member graph.NodeID
+}
+
+// FailureNotice tells a disconnected subtree that its uplink died.
+type FailureNotice struct {
+	FailedAt graph.NodeID // the cut point (downstream endpoint of the dead link)
+	At       eventsim.Time
+}
+
+// QueryReq is the §3.3.1 neighbor query from a joining/recovering node.
+type QueryReq struct {
+	Origin graph.NodeID
+}
+
+// QueryResp carries an on-tree node's SHR back to the querying node.
+type QueryResp struct {
+	Merger graph.NodeID
+	SHR    int
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"testing"
+
+	"smrp/internal/eventsim"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// TestSoftStateExpiryReclaimsSilentMember: a member that crashes (stops
+// refreshing without a Leave_Req) loses its branch after HoldTime — the
+// robustness property of the paper's soft-state design.
+func TestSoftStateExpiryReclaimsSilentMember(t *testing.T) {
+	g, err := topology.PaperFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewSMRPInstance(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range []graph.NodeID{4, 5} {
+		if err := inst.ScheduleJoin(eventsim.Time(k+1), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Member 5 (G) crashes at t=30.
+	if err := inst.SilenceMember(30, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	exp := inst.Expired()
+	if len(exp) != 1 || exp[0] != 5 {
+		t.Fatalf("expired = %v, want [5]", exp)
+	}
+	tr := inst.Session().Tree()
+	if tr.IsMember(5) || tr.OnTree(5) {
+		t.Error("silent member's branch should be reclaimed")
+	}
+	if !tr.IsMember(4) {
+		t.Error("healthy member must survive the audit")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftStateSurvivesHealthyRefresh: no member is expired while refreshes
+// keep flowing, even over a long horizon.
+func TestSoftStateSurvivesHealthyRefresh(t *testing.T) {
+	g, err := topology.PaperFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewSMRPInstance(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range []graph.NodeID{4, 5, 6} {
+		if err := inst.ScheduleJoin(eventsim.Time(k+1), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Expired(); len(got) != 0 {
+		t.Errorf("expired = %v, want none", got)
+	}
+	if inst.Session().Tree().NumMembers() != 3 {
+		t.Errorf("members = %d", inst.Session().Tree().NumMembers())
+	}
+}
+
+// TestRefreshSurvivesRecovery: a member recovered via local detour must keep
+// refreshing on its new branch (and not be expired by the audit later).
+func TestRefreshSurvivesRecovery(t *testing.T) {
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SMRP.DThresh = 0
+	inst, err := NewSMRPInstance(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []graph.NodeID{3, 4} {
+		if err := inst.ScheduleJoin(1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.InjectFailure(30, failure.LinkDown(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Run far beyond HoldTime after the recovery.
+	if err := inst.Run(30 + 20*cfg.HoldTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Restorations()) != 1 {
+		t.Fatalf("restorations = %v", inst.Restorations())
+	}
+	if got := inst.Expired(); len(got) != 0 {
+		t.Errorf("recovered member expired: %v", got)
+	}
+	if !inst.Session().Tree().IsMember(4) {
+		t.Error("recovered member lost")
+	}
+	last, ok := inst.LastRefresh(4)
+	if !ok {
+		t.Fatal("no refresh bookkeeping for recovered member")
+	}
+	if float64(inst.Engine().Now()-last) > 2*float64(cfg.RefreshInterval) {
+		t.Errorf("refresh loop stalled: last at %v, now %v", last, inst.Engine().Now())
+	}
+}
+
+func TestSilenceInPastRejected(t *testing.T) {
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewSMRPInstance(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Engine().MustSchedule(10, func() {})
+	if err := inst.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SilenceMember(5, 3); err == nil {
+		t.Error("past silence should be rejected")
+	}
+}
+
+func TestSPFLastRefresh(t *testing.T) {
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewSPFInstance(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ScheduleJoin(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	last, ok := inst.LastRefresh(3)
+	if !ok || float64(last) <= 1 {
+		t.Errorf("LastRefresh = %v,%v", last, ok)
+	}
+}

@@ -1,0 +1,204 @@
+package topology
+
+import (
+	"fmt"
+
+	"smrp/internal/graph"
+)
+
+// NLevelConfig parameterizes the recursive N-level hierarchical generator —
+// the generalization of the 2-level transit–stub model that §3.3.3 of the
+// paper says the recovery architecture extends to.
+type NLevelConfig struct {
+	// Levels is the hierarchy depth (2 reproduces transit–stub).
+	Levels int
+	// Fanout is the number of child domains attached to each domain.
+	Fanout int
+	// NodesPerDomain is the size of every domain at every level.
+	NodesPerDomain int
+	// Alpha/Beta are the Waxman parameters used inside every domain.
+	Alpha, Beta float64
+	// Extent is the placement square of the top domain; each level down
+	// shrinks by Shrink.
+	Extent, Shrink float64
+}
+
+// DefaultNLevelConfig returns a 3-level hierarchy: a 6-node core, 2 child
+// domains per domain, 8 nodes each (6 + 12·8... 6 + 2·8 + 4·8 = 54 nodes).
+func DefaultNLevelConfig() NLevelConfig {
+	return NLevelConfig{
+		Levels:         3,
+		Fanout:         2,
+		NodesPerDomain: 8,
+		Alpha:          0.9,
+		Beta:           0.6,
+		Extent:         1.0,
+		Shrink:         0.35,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c NLevelConfig) Validate() error {
+	if c.Levels < 2 {
+		return fmt.Errorf("nlevel: Levels = %d, need at least 2", c.Levels)
+	}
+	if c.Fanout < 1 {
+		return fmt.Errorf("nlevel: Fanout = %d, need at least 1", c.Fanout)
+	}
+	if c.NodesPerDomain < 2 {
+		return fmt.Errorf("nlevel: NodesPerDomain = %d, need at least 2", c.NodesPerDomain)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 || c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("nlevel: Waxman parameters out of (0, 1]")
+	}
+	if c.Extent <= 0 || c.Shrink <= 0 || c.Shrink >= 1 {
+		return fmt.Errorf("nlevel: need Extent > 0 and Shrink in (0, 1)")
+	}
+	return nil
+}
+
+// NLevelDomain is one recovery domain in an N-level hierarchy.
+type NLevelDomain struct {
+	ID    int
+	Level int // 0 = root/core
+	Nodes []graph.NodeID
+	// Gateway is this domain's uplink node (equal to Nodes[...]; for the
+	// root domain it is its first node and carries no uplink edge).
+	Gateway graph.NodeID
+	// Attach is the parent-domain node the gateway links to (Invalid for
+	// the root).
+	Attach graph.NodeID
+	// Parent/Children index into NLevelTopology.Domains (-1 for the root's
+	// parent).
+	Parent   int
+	Children []int
+}
+
+// NLevelTopology is a full N-level hierarchical network.
+type NLevelTopology struct {
+	Graph   *graph.Graph
+	Domains []NLevelDomain
+	Root    int // index of the root domain (always 0)
+	// domainOf maps every node to its owning domain index.
+	domainOf map[graph.NodeID]int
+}
+
+// DomainOf returns the index of the domain owning node n, or -1.
+func (t *NLevelTopology) DomainOf(n graph.NodeID) int {
+	if d, ok := t.domainOf[n]; ok {
+		return d
+	}
+	return -1
+}
+
+// GenerateNLevel builds the hierarchy: the root domain is a Waxman graph
+// over the full extent; each domain spawns Fanout child domains, placed near
+// their attachment nodes with a shrunken extent, each joined upward through
+// its gateway. Every domain is internally connected.
+func GenerateNLevel(cfg NLevelConfig, rng *RNG) (*NLevelTopology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Total domains: Fanout^0 + … + Fanout^(Levels-1).
+	totalDomains := 0
+	pow := 1
+	for l := 0; l < cfg.Levels; l++ {
+		totalDomains += pow
+		pow *= cfg.Fanout
+	}
+	g := graph.New(totalDomains * cfg.NodesPerDomain)
+	t := &NLevelTopology{
+		Graph:    g,
+		Root:     0,
+		domainOf: make(map[graph.NodeID]int, g.NumNodes()),
+	}
+
+	next := 0
+	newDomainNodes := func(center graph.Point, extent float64, id int) []graph.NodeID {
+		nodes := make([]graph.NodeID, cfg.NodesPerDomain)
+		for i := range nodes {
+			n := graph.NodeID(next)
+			next++
+			g.SetPos(n, graph.Point{
+				X: center.X + (rng.Float64()-0.5)*extent,
+				Y: center.Y + (rng.Float64()-0.5)*extent,
+			})
+			nodes[i] = n
+			t.domainOf[n] = id
+		}
+		return nodes
+	}
+
+	// Breadth-first domain construction.
+	type job struct {
+		parent int // domain index; -1 for root
+		attach graph.NodeID
+		level  int
+		center graph.Point
+		extent float64
+	}
+	queue := []job{{
+		parent: -1,
+		attach: graph.Invalid,
+		level:  0,
+		center: graph.Point{X: cfg.Extent / 2, Y: cfg.Extent / 2},
+		extent: cfg.Extent,
+	}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		id := len(t.Domains)
+		nodes := newDomainNodes(j.center, j.extent, id)
+		if err := wireWaxman(g, nodes, cfg.Alpha, cfg.Beta, rng); err != nil {
+			return nil, fmt.Errorf("nlevel: domain %d wiring: %w", id, err)
+		}
+		d := NLevelDomain{
+			ID:     id,
+			Level:  j.level,
+			Nodes:  nodes,
+			Parent: j.parent,
+			Attach: j.attach,
+		}
+		if j.parent == -1 {
+			d.Gateway = nodes[0]
+		} else {
+			d.Gateway = nearestTo(g, nodes, g.Pos(j.attach))
+			if err := addDistEdge(g, d.Gateway, j.attach); err != nil {
+				return nil, fmt.Errorf("nlevel: domain %d uplink: %w", id, err)
+			}
+			t.Domains[j.parent].Children = append(t.Domains[j.parent].Children, id)
+		}
+		t.Domains = append(t.Domains, d)
+
+		if j.level+1 < cfg.Levels {
+			for c := 0; c < cfg.Fanout; c++ {
+				attach := nodes[(c+1)%len(nodes)]
+				queue = append(queue, job{
+					parent: id,
+					attach: attach,
+					level:  j.level + 1,
+					center: g.Pos(attach),
+					extent: j.extent * cfg.Shrink,
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+// Leaves returns the indices of the deepest-level domains.
+func (t *NLevelTopology) Leaves() []int {
+	maxLevel := 0
+	for _, d := range t.Domains {
+		if d.Level > maxLevel {
+			maxLevel = d.Level
+		}
+	}
+	var out []int
+	for _, d := range t.Domains {
+		if d.Level == maxLevel {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}

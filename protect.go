@@ -1,0 +1,75 @@
+package smrp
+
+import (
+	"smrp/internal/experiment"
+	"smrp/internal/faultisolation"
+	"smrp/internal/protect"
+	"smrp/internal/workload"
+)
+
+// Preplanned-protection aliases (the related-work baselines of §2).
+type (
+	// RedundantTrees is a Médard-style red/blue tree pair: any single
+	// link/node failure leaves every member attached via one tree.
+	RedundantTrees = protect.RedundantTrees
+	// DependableSession manages Han & Shin-style primary/backup channels.
+	DependableSession = protect.DependableSession
+	// DependableConnection is one receiver's primary/backup pair.
+	DependableConnection = protect.DependableConnection
+	// FailoverOutcome describes how a preplanned channel weathers a failure.
+	FailoverOutcome = protect.FailoverOutcome
+)
+
+// Re-exported failover outcomes.
+const (
+	PrimaryUnaffected = protect.PrimaryUnaffected
+	SwitchedToBackup  = protect.SwitchedToBackup
+	BothChannelsDown  = protect.BothChannelsDown
+)
+
+// Preplanned-protection constructors.
+var (
+	// BuildRedundantTrees constructs the red/blue pair on a biconnected
+	// network.
+	BuildRedundantTrees = protect.BuildRedundantTrees
+	// NewDependableSession creates a primary/backup channel manager.
+	NewDependableSession = protect.NewDependableSession
+)
+
+// Fault-isolation aliases (reference [1]'s role in the hierarchical
+// architecture: find which domain a failure is in from reachability alone).
+type (
+	// FaultObservation records which members still receive data.
+	FaultObservation = faultisolation.Observation
+	// FaultSuspect is one candidate failure location.
+	FaultSuspect = faultisolation.Suspect
+)
+
+// Fault-isolation functions.
+var (
+	// IsolateFault infers the failed tree link(s) from an observation.
+	IsolateFault = faultisolation.Isolate
+	// ObserveFailure produces the observation a failure mask would cause.
+	ObserveFailure = faultisolation.ObserveFailure
+	// NewFaultObservation builds an observation from the reachable members.
+	NewFaultObservation = faultisolation.NewObservation
+)
+
+// Workload aliases (membership churn schedules).
+type (
+	// ChurnConfig parameterizes churn generation.
+	ChurnConfig = workload.Config
+	// ChurnSchedule is a time-ordered join/leave schedule.
+	ChurnSchedule = workload.Schedule
+	// ChurnEvent is one membership change.
+	ChurnEvent = workload.Event
+)
+
+// GenerateChurn builds a deterministic churn schedule.
+var GenerateChurn = workload.Generate
+
+// ProtectionResult compares reactive recovery with preplanned protection.
+type ProtectionResult = experiment.ProtectionResult
+
+// RunProtection executes the reactive-vs-preplanned comparison.
+var RunProtection = experiment.RunProtection

@@ -1,0 +1,195 @@
+// Package smrp is a Go implementation of SMRP, the Survivable Multicast
+// Routing Protocol (Wu & Shin, "SMRP: Fast Restoration of Multicast Sessions
+// from Persistent Failures", DSN 2005), together with everything needed to
+// study it: Waxman/transit–stub topology generators, a link-state unicast
+// routing substrate, a deterministic discrete-event simulator, an SPF/PIM
+// baseline, a hierarchical recovery architecture, and the complete
+// evaluation harness regenerating the paper's figures.
+//
+// # Quick start
+//
+//	net, _ := smrp.GenerateWaxman(100, 0.2, smrp.DefaultBeta, 42)
+//	sess, _ := smrp.NewSession(net, 0, smrp.DefaultConfig())
+//	sess.Join(17)
+//	sess.Join(33)
+//	rep, _ := sess.Heal(smrp.LinkDown(0, 5)) // recover from a cut
+//	fmt.Println(rep.TotalRecoveryDistance())
+//
+// The package re-exports the library's building blocks through type
+// aliases, so one import gives access to the full system; the underlying
+// implementations live in internal/ packages organized per subsystem (see
+// DESIGN.md for the map).
+package smrp
+
+import (
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/multicast"
+	"smrp/internal/spfbase"
+	"smrp/internal/topology"
+)
+
+// Tree is a source-rooted multicast tree overlaid on a Network.
+type Tree = multicast.Tree
+
+// Graph-layer aliases.
+type (
+	// NodeID identifies a network node.
+	NodeID = graph.NodeID
+	// EdgeID identifies an undirected link by its canonical endpoints.
+	EdgeID = graph.EdgeID
+	// Path is a node sequence connected by links.
+	Path = graph.Path
+	// Network is the weighted undirected network graph.
+	Network = graph.Graph
+	// Point is a 2-D node position.
+	Point = graph.Point
+	// Mask excludes failed or avoided components from traversal.
+	Mask = graph.Mask
+)
+
+// Invalid is the sentinel "no node" identifier.
+const Invalid = graph.Invalid
+
+// Topology-generation aliases.
+type (
+	// WaxmanConfig parameterizes the Waxman random-graph model.
+	WaxmanConfig = topology.WaxmanConfig
+	// TransitStub is a 2-level transit–stub topology.
+	TransitStub = topology.TransitStub
+	// TransitStubConfig parameterizes the transit–stub generator.
+	TransitStubConfig = topology.TransitStubConfig
+	// RNG is the deterministic random generator all generation uses.
+	RNG = topology.RNG
+	// TopologyStats summarizes a generated topology.
+	TopologyStats = topology.Stats
+)
+
+// DefaultBeta is the calibrated Waxman β used throughout the evaluation.
+const DefaultBeta = topology.DefaultBeta
+
+// NewRNG returns a seeded deterministic random generator.
+func NewRNG(seed uint64) *RNG { return topology.NewRNG(seed) }
+
+// GenerateWaxman builds a connected Waxman random network with n nodes.
+func GenerateWaxman(n int, alpha, beta float64, seed uint64) (*Network, error) {
+	return topology.Waxman(WaxmanConfig{
+		N:               n,
+		Alpha:           alpha,
+		Beta:            beta,
+		EnsureConnected: true,
+	}, topology.NewRNG(seed))
+}
+
+// GenerateTransitStub builds a 2-level transit–stub network.
+func GenerateTransitStub(cfg TransitStubConfig, seed uint64) (*TransitStub, error) {
+	return topology.GenerateTransitStub(cfg, topology.NewRNG(seed))
+}
+
+// DefaultTransitStubConfig returns the transit–stub setup used by the
+// hierarchical experiments.
+func DefaultTransitStubConfig() TransitStubConfig {
+	return topology.DefaultTransitStubConfig()
+}
+
+// DescribeTopology computes summary statistics for a network.
+func DescribeTopology(n *Network) TopologyStats { return topology.Describe(n) }
+
+// SMRP-core aliases.
+type (
+	// Config parameterizes an SMRP session (D_thresh, reshaping, knowledge
+	// and SHR-maintenance modes).
+	Config = core.Config
+	// Session is a synchronous SMRP multicast session.
+	Session = core.Session
+	// JoinResult describes the outcome of a member join.
+	JoinResult = core.JoinResult
+	// HealReport describes a local-detour recovery.
+	HealReport = core.HealReport
+	// Stats counts protocol work for overhead studies.
+	Stats = core.Stats
+	// Knowledge selects full-topology or query-scheme discovery.
+	Knowledge = core.Knowledge
+	// SHRMode selects eager or deferred SHR maintenance.
+	SHRMode = core.SHRMode
+)
+
+// Re-exported enum values.
+const (
+	FullTopology = core.FullTopology
+	QueryScheme  = core.QueryScheme
+	EagerSHR     = core.EagerSHR
+	DeferredSHR  = core.DeferredSHR
+)
+
+// DefaultConfig returns the paper's evaluation configuration
+// (D_thresh = 0.3, Condition I+II reshaping, full topology, eager SHR).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSession creates an SMRP session on net rooted at source.
+func NewSession(net *Network, source NodeID, cfg Config) (*Session, error) {
+	return core.NewSession(net, source, cfg)
+}
+
+// ComputeSHR returns the paper's path-sharing metric for every on-tree node
+// of a multicast tree.
+var ComputeSHR = core.ComputeSHR
+
+// Baseline aliases.
+type (
+	// SPFSession is the SPF/PIM-style baseline session.
+	SPFSession = spfbase.Session
+	// SPFHealReport describes a global-detour recovery.
+	SPFHealReport = spfbase.HealReport
+)
+
+// NewSPFSession creates a baseline SPF multicast session.
+func NewSPFSession(net *Network, source NodeID) (*SPFSession, error) {
+	return spfbase.NewSession(net, source)
+}
+
+// Failure-model aliases.
+type (
+	// Failure is a persistent link or node failure.
+	Failure = failure.Failure
+	// FailureKind distinguishes link from node failures.
+	FailureKind = failure.Kind
+)
+
+// Re-exported failure kinds.
+const (
+	LinkFailure = failure.LinkFailure
+	NodeFailure = failure.NodeFailure
+)
+
+// Failure constructors and recovery primitives.
+var (
+	// LinkDown returns the failure of the undirected link (u, v).
+	LinkDown = failure.LinkDown
+	// NodeDown returns the failure of node n.
+	NodeDown = failure.NodeDown
+	// WorstCaseFor returns the paper's worst-case failure for a member: the
+	// source-incident link of its multicast path.
+	WorstCaseFor = failure.WorstCaseFor
+	// LocalDetour computes SMRP's recovery path and distance for a
+	// disconnected member.
+	LocalDetour = failure.LocalDetour
+	// GlobalDetour computes the SPF baseline's recovery path and distance.
+	GlobalDetour = failure.GlobalDetour
+	// DisconnectedMembers lists the members a failure cuts off.
+	DisconnectedMembers = failure.DisconnectedMembers
+	// SurvivingNodes returns the on-tree nodes a failure leaves connected.
+	SurvivingNodes = failure.SurvivingNodes
+)
+
+// Worked-example fixtures from the paper's figures.
+var (
+	// PaperFig1 reconstructs the Figure 1 topology (S, A, B, C, D).
+	PaperFig1 = topology.PaperFig1
+	// PaperFig4 reconstructs the Figure 4/5 topology (S, A, B, D, E, G, F, C).
+	PaperFig4 = topology.PaperFig4
+	// Fig1Nodes / Fig4Nodes give the symbolic node names in ID order.
+	Fig1Nodes = topology.Fig1Nodes
+	Fig4Nodes = topology.Fig4Nodes
+)
