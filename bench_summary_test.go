@@ -1,0 +1,126 @@
+package smrp
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchSummary is the machine-readable wall-clock record the bench harness
+// emits: one entry per (figure, worker count) pair, so parallel-runner
+// speedups can be tracked across machines and commits.
+type BenchSummary struct {
+	// Generated is the UTC timestamp of the measurement.
+	Generated string `json:"generated"`
+	// CPUs is runtime.NumCPU() on the measuring machine — the hard ceiling on
+	// any real speedup.
+	CPUs int `json:"cpus"`
+	// GoVersion identifies the toolchain.
+	GoVersion string `json:"go_version"`
+	// Entries are the timed figure regenerations.
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchEntry times one figure regeneration at one worker count.
+type BenchEntry struct {
+	Figure      string  `json:"figure"`
+	Scenarios   int     `json:"scenarios"` // trials dispatched to the runner
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// benchFigures are the figure regenerations the summary times. Scenario
+// counts are the number of independent trials the parallel runner dispatches.
+var benchFigures = []struct {
+	name      string
+	scenarios int
+	run       func() error
+}{
+	{"fig7", 5, func() error { _, err := RunFig7(benchSeed); return err }},
+	{"fig8", 100, func() error { _, err := RunFig8(5, 5, benchSeed); return err }}, // 25 scenarios × 4 sweep points
+	{"latency", 10, func() error { _, err := RunLatency(10, benchSeed); return err }},
+	{"hierarchy", 10, func() error { _, err := RunHierarchy(10, benchSeed); return err }},
+	{"churn", 5, func() error { _, err := RunChurn(5, benchSeed); return err }},
+}
+
+// TestWriteBenchSummary regenerates BENCH_SUMMARY.json. It is gated behind
+// the SMRP_BENCH_SUMMARY environment variable so ordinary test runs stay
+// fast:
+//
+//	SMRP_BENCH_SUMMARY=BENCH_SUMMARY.json go test -run TestWriteBenchSummary .
+//
+// Set the variable to the output path ("1" selects BENCH_SUMMARY.json in the
+// current directory). Every figure runs at workers=1 and workers=4; rendered
+// results are bit-identical across worker counts (see the determinism
+// regression test), so only the wall clock differs. On a single-CPU machine
+// the two timings will be roughly equal — the file records whatever this
+// machine honestly measured.
+func TestWriteBenchSummary(t *testing.T) {
+	path := os.Getenv("SMRP_BENCH_SUMMARY")
+	if path == "" {
+		t.Skip("set SMRP_BENCH_SUMMARY=<path> to regenerate the bench summary")
+	}
+	if path == "1" {
+		path = "BENCH_SUMMARY.json"
+	}
+	defer SetExperimentParallelism(0)
+
+	sum := BenchSummary{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	for _, fig := range benchFigures {
+		for _, workers := range []int{1, 4} {
+			SetExperimentParallelism(workers)
+			start := time.Now()
+			if err := fig.run(); err != nil {
+				t.Fatalf("%s (workers=%d): %v", fig.name, workers, err)
+			}
+			sum.Entries = append(sum.Entries, BenchEntry{
+				Figure:      fig.name,
+				Scenarios:   fig.scenarios,
+				Workers:     workers,
+				WallSeconds: time.Since(start).Seconds(),
+			})
+			t.Logf("%-10s workers=%d: %.2fs", fig.name, workers,
+				sum.Entries[len(sum.Entries)-1].WallSeconds)
+		}
+	}
+
+	data, err := json.MarshalIndent(&sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d entries)", path, len(sum.Entries))
+}
+
+// TestBenchSummaryRoundTrip keeps the committed BENCH_SUMMARY.json parseable:
+// if the file exists it must decode into BenchSummary with sane fields.
+func TestBenchSummaryRoundTrip(t *testing.T) {
+	data, err := os.ReadFile("BENCH_SUMMARY.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_SUMMARY.json")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum BenchSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("BENCH_SUMMARY.json does not parse: %v", err)
+	}
+	if len(sum.Entries) == 0 {
+		t.Fatal("BENCH_SUMMARY.json has no entries")
+	}
+	for _, e := range sum.Entries {
+		if e.Figure == "" || e.Workers < 1 || e.Scenarios < 1 || e.WallSeconds <= 0 {
+			t.Errorf("implausible entry: %+v", e)
+		}
+	}
+}

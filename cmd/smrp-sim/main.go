@@ -5,15 +5,22 @@
 //
 //	smrp-sim -fig 7                    # Figure 7 scatter + summary
 //	smrp-sim -fig 8 -topos 10 -sets 10 # Figure 8 at paper scale
+//	smrp-sim -fig 9 -workers 4         # Figure 9 on 4 worker goroutines
 //	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
 //
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
+//
+// Scenarios within a figure execute on a deterministic parallel runner
+// (-workers, default GOMAXPROCS). Output is bit-identical for every worker
+// count: each trial derives its RNG stream from (seed, trial index) alone and
+// results fold in trial order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"smrp/internal/experiment"
@@ -29,16 +36,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|all")
-		topos = fs.Int("topos", 10, "random topologies per sweep point")
-		sets  = fs.Int("sets", 10, "member sets per topology")
-		runs  = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
-		seed  = fs.Uint64("seed", 2005, "base RNG seed")
-		csv   = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
+		fig     = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|all")
+		topos   = fs.Int("topos", 10, "random topologies per sweep point")
+		sets    = fs.Int("sets", 10, "member sets per topology")
+		runs    = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
+		seed    = fs.Uint64("seed", 2005, "base RNG seed")
+		csv     = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	experiment.SetParallelism(*workers)
 
 	var csvOut *os.File
 	if *csv != "" {

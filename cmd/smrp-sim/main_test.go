@@ -19,6 +19,32 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// TestRunWorkersValidation rejects non-positive worker counts before any
+// experiment starts.
+func TestRunWorkersValidation(t *testing.T) {
+	for _, w := range []string{"0", "-3"} {
+		err := run([]string{"-fig", "7", "-workers", w})
+		if err == nil {
+			t.Errorf("-workers %s should error", w)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("-workers %s: error %q should mention the flag", w, err)
+		}
+	}
+}
+
+// TestRunWorkersFlag executes a small experiment under an explicit worker
+// count.
+func TestRunWorkersFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	if err := run([]string{"-fig", "nlevel", "-runs", "2", "-seed", "4", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunFig7Small executes the smallest real experiment end to end,
 // including CSV output.
 func TestRunFig7Small(t *testing.T) {

@@ -142,3 +142,12 @@ var (
 
 // DefaultExperimentBase returns the paper's default evaluation setup.
 func DefaultExperimentBase() ExperimentBase { return experiment.DefaultBase() }
+
+// SetExperimentParallelism fixes the worker count the experiment runners use
+// (n < 1 restores the GOMAXPROCS default) and returns the effective value.
+// Results are bit-identical for any worker count; only wall-clock time
+// changes.
+func SetExperimentParallelism(n int) int { return experiment.SetParallelism(n) }
+
+// ExperimentParallelism returns the worker count studies currently use.
+func ExperimentParallelism() int { return experiment.Parallelism() }

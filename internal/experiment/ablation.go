@@ -44,16 +44,18 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// ablationVariant evaluates all scenarios under one SMRP configuration and
-// summarizes metrics plus overhead counters.
-func ablationVariant(name string, scenarios []Scenario, cfg core.Config, useLocalOnSPF bool) (AblationRow, error) {
+// ablationVariant evaluates all scenarios under one SMRP configuration on
+// the parallel runner and summarizes metrics plus overhead counters. The
+// scenario set is shared between variants, so the per-topology SPF caches
+// attached by GenScenarios serve hits across the whole study.
+func ablationVariant(name string, scenarios []Scenario, cfg core.Config, useLocalOnSPF bool, seed uint64) (AblationRow, error) {
+	results, err := evaluateAll(scenarios, cfg, seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
 	var agg Aggregate
 	var updates, computes, queries, reshapes float64
-	for _, sc := range scenarios {
-		res, err := Evaluate(sc, cfg)
-		if err != nil {
-			return AblationRow{}, err
-		}
+	for _, res := range results {
 		if err := agg.Accumulate(res); err != nil {
 			return AblationRow{}, err
 		}
@@ -140,7 +142,7 @@ func RunAblations(nTopo, nSets int, seed uint64) (*AblationResult, error) {
 		{name: "no-reshaping", cfg: noReshape},
 		{name: "condition-I-only", cfg: condIOnly},
 	} {
-		row, err := ablationVariant(v.name, scenarios, v.cfg, v.localOnSPF)
+		row, err := ablationVariant(v.name, scenarios, v.cfg, v.localOnSPF, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"smrp/internal/failure"
 	"smrp/internal/graph"
 	"smrp/internal/metrics"
+	"smrp/internal/runner"
 	"smrp/internal/spfbase"
 	"smrp/internal/topology"
 	"smrp/internal/workload"
@@ -69,23 +71,28 @@ func churnVariants() []churnVariant {
 	}
 }
 
+// churnRun is one trial's contribution: the per-variant aggregates and
+// reshape counts for a single topology + churn schedule.
+type churnRun struct {
+	events   float64
+	aggs     []*Aggregate
+	reshapes []float64
+}
+
 // RunChurn drives the same churn schedule through an SPF session and three
 // SMRP reshaping variants, then evaluates the surviving members under
 // worst-case failures. Condition II (the periodic timer) fires every
-// reshapeEvery events for the full variant.
+// reshapeEvery events for the full variant. Runs are independent and execute
+// on the parallel runner; per-run results fold in run order, so output is
+// identical for any worker count.
 func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
 	const reshapeEvery = 10
 	base := DefaultBase()
 	out := &ChurnResult{}
 	variants := churnVariants()
-	aggs := make([]*Aggregate, len(variants))
-	reshapes := make([]float64, len(variants))
-	for i := range aggs {
-		aggs[i] = &Aggregate{}
-	}
-	var eventsSample metrics.Sample
 
-	for r := 0; r < runs; r++ {
+	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*churnRun, error) {
+		r := t.Index
 		rng := topology.NewRNG(seed + uint64(r)*6151)
 		g, err := topology.Waxman(topology.WaxmanConfig{
 			N: base.N, Alpha: base.Alpha, Beta: base.Beta, EnsureConnected: true,
@@ -93,6 +100,9 @@ func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Worst-case evaluation below re-queries many (member, mask) pairs;
+		// memoize SPF trees for the run's private topology.
+		g.EnableSPFCache()
 		source := graph.NodeID(0)
 		pop := make([]graph.NodeID, 0, base.N-1)
 		for n := 1; n < base.N; n++ {
@@ -108,7 +118,11 @@ func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		eventsSample.Add(float64(len(sched.Events)))
+		cr := &churnRun{
+			events:   float64(len(sched.Events)),
+			aggs:     make([]*Aggregate, len(variants)),
+			reshapes: make([]float64, len(variants)),
+		}
 
 		// SPF baseline under the same schedule.
 		spfSess, err := newSPFUnderChurn(g, source, sched)
@@ -117,6 +131,7 @@ func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
 		}
 
 		for vi, v := range variants {
+			cr.aggs[vi] = &Aggregate{}
 			sess, err := core.NewSession(g, source, v.cfg)
 			if err != nil {
 				return nil, err
@@ -138,15 +153,32 @@ func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
 					sess.ReshapeAll()
 				}
 			}
-			reshapes[vi] += float64(sess.Stats().Reshapes)
-			if err := accumulateChurn(aggs[vi], sess, spfSess); err != nil {
+			cr.reshapes[vi] = float64(sess.Stats().Reshapes)
+			if err := accumulateChurn(cr.aggs[vi], sess, spfSess); err != nil {
 				return nil, err
 			}
+		}
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	aggs := make([]*Aggregate, len(variants))
+	reshapes := make([]float64, len(variants))
+	for i := range aggs {
+		aggs[i] = &Aggregate{}
+	}
+	var eventsSample metrics.Sample
+	for _, cr := range runResults {
+		eventsSample.Add(cr.events)
+		for vi := range variants {
+			aggs[vi].Merge(cr.aggs[vi])
+			reshapes[vi] += cr.reshapes[vi]
 		}
 		out.Runs++
 	}
 
-	var err error
 	if out.Events, err = eventsSample.Summarize(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderable is any study result that renders to the human-readable report.
+type renderable interface{ Render() string }
+
+// renderStudies runs every study in this package at a small scale and
+// concatenates the rendered reports. Any study error is fatal.
+func renderStudies(t *testing.T, seed uint64) string {
+	t.Helper()
+	var b strings.Builder
+	add := func(name string, r renderable, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b.WriteString(r.Render())
+	}
+
+	r7, err := RunFig7(seed)
+	add("fig7", r7, err)
+	r8, err := RunFig8(2, 2, seed)
+	add("fig8", r8, err)
+	ab, err := RunAblations(2, 1, seed)
+	add("ablations", ab, err)
+	ch, err := RunChurn(3, seed)
+	add("churn", ch, err)
+	la, err := RunLatency(3, seed)
+	add("latency", la, err)
+	hi, err := RunHierarchy(3, seed)
+	add("hierarchy", hi, err)
+	nl, err := RunNLevel(3, seed)
+	add("nlevel", nl, err)
+	pr, err := RunProtection(2, seed)
+	add("protection", pr, err)
+	return b.String()
+}
+
+// TestStudiesDeterministicAcrossWorkerCounts is the regression guard for the
+// parallel runner: every study must render byte-identical output for the same
+// seed whether trials run on one worker or eight. Trials derive their RNG
+// streams from (seed, trial index) alone and results fold in trial order, so
+// scheduling must never leak into the numbers.
+func TestStudiesDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study runs")
+	}
+	const seed = 97
+	defer SetParallelism(0)
+
+	SetParallelism(1)
+	seq := renderStudies(t, seed)
+	SetParallelism(8)
+	par := renderStudies(t, seed)
+
+	if seq == par {
+		return
+	}
+	seqLines := strings.Split(seq, "\n")
+	parLines := strings.Split(par, "\n")
+	n := len(seqLines)
+	if len(parLines) < n {
+		n = len(parLines)
+	}
+	for i := 0; i < n; i++ {
+		if seqLines[i] != parLines[i] {
+			t.Fatalf("workers=1 and workers=8 diverge at line %d:\n  workers=1: %q\n  workers=8: %q",
+				i+1, seqLines[i], parLines[i])
+		}
+	}
+	t.Fatalf("workers=1 and workers=8 outputs differ in length: %d vs %d lines",
+		len(seqLines), len(parLines))
+}

@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"smrp/internal/core"
 	"smrp/internal/metrics"
+	"smrp/internal/runner"
 )
 
 // Fig7Point is one scatter point of Figure 7: a member's worst-case recovery
@@ -29,20 +32,23 @@ type Fig7Result struct {
 
 // RunFig7 executes the Figure 7 experiment: N=100, N_G=30, α=0.2,
 // D_thresh=0.3, five random topologies, worst-case failure per member.
+// Scenarios are evaluated on the parallel runner (see SetParallelism);
+// per-scenario results fold in trial order, so the output is identical for
+// any worker count.
 func RunFig7(seed uint64) (*Fig7Result, error) {
 	base := DefaultBase()
 	scenarios, err := GenScenarios(base, 5, 1, seed)
 	if err != nil {
 		return nil, err
 	}
+	results, err := evaluateAll(scenarios, base.SMRP, seed)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig7Result{}
 	var rel metrics.Sample
 	below := 0
-	for _, sc := range scenarios {
-		res, err := Evaluate(sc, base.SMRP)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		for _, o := range res.Members {
 			if !o.Recoverable {
 				out.Unrecoverable++
@@ -114,19 +120,29 @@ func (r *SweepResult) Render() string {
 	return b.String()
 }
 
+// evaluateAll measures every scenario on the parallel runner and returns the
+// results ordered by scenario index.
+func evaluateAll(scenarios []Scenario, cfg core.Config, seed uint64) ([]*Result, error) {
+	return mapTrials(seed, len(scenarios), func(_ context.Context, t runner.Trial) (*Result, error) {
+		return Evaluate(scenarios[t.Index], cfg)
+	})
+}
+
 // sweepPoint evaluates all scenarios for one swept configuration and
-// produces a row.
+// produces a row. Scenario evaluation fans out across the worker pool;
+// accumulation happens afterwards in scenario order, keeping the row
+// bit-identical for any worker count.
 func sweepPoint(label string, x float64, base Base, nTopo, nSets int, seed uint64) (SweepRow, error) {
 	scenarios, err := GenScenarios(base, nTopo, nSets, seed)
 	if err != nil {
 		return SweepRow{}, err
 	}
+	results, err := evaluateAll(scenarios, base.SMRP, seed)
+	if err != nil {
+		return SweepRow{}, err
+	}
 	var agg Aggregate
-	for _, sc := range scenarios {
-		res, err := Evaluate(sc, base.SMRP)
-		if err != nil {
-			return SweepRow{}, err
-		}
+	for _, res := range results {
 		if err := agg.Accumulate(res); err != nil {
 			return SweepRow{}, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"smrp/internal/graph"
 	"smrp/internal/hierarchy"
 	"smrp/internal/metrics"
+	"smrp/internal/runner"
 	"smrp/internal/topology"
 )
 
@@ -43,20 +45,36 @@ func (r *HierResult) Render() string {
 	return b.String()
 }
 
+// hierRun is one trial's contribution. Delay-stretch observations are
+// recorded even when the failure-recovery phase is skipped (matching the
+// sequential accounting); scope/RD observations only when ok.
+type hierRun struct {
+	stretches      []float64
+	ok             bool
+	scopeH, scopeF float64
+	rdH, rdF       float64
+}
+
 // RunHierarchy builds paired hierarchical and flat SMRP sessions over
 // transit–stub topologies, injects a worst-case failure inside a member's
-// stub domain, and compares recovery scope and distance.
+// stub domain, and compares recovery scope and distance. Runs execute on the
+// parallel runner and fold in run order (bit-identical for any worker
+// count).
 func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 	cfg := core.DefaultConfig()
 	out := &HierResult{}
-	var scopeH, scopeF, rdH, rdF, stretch metrics.Sample
 
-	for r := 0; r < runs; r++ {
+	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*hierRun, error) {
+		r := t.Index
+		hr := &hierRun{}
 		rng := topology.NewRNG(seed + uint64(r)*104729)
 		ts, err := topology.GenerateTransitStub(topology.DefaultTransitStubConfig(), rng)
 		if err != nil {
 			return nil, err
 		}
+		// Stub sessions and worst-case probes re-query shortest paths on the
+		// shared full topology; memoize them for this run.
+		ts.Graph.EnableSPFCache()
 		// Source: first non-gateway node of stub 0.
 		var src graph.NodeID = graph.Invalid
 		for _, n := range ts.Stubs[0].Nodes {
@@ -66,7 +84,7 @@ func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 			}
 		}
 		if src == graph.Invalid {
-			continue
+			return hr, nil
 		}
 		// Members: two non-gateway nodes from every stub.
 		var members []graph.NodeID
@@ -110,7 +128,7 @@ func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 				return nil, err
 			}
 			if df > 0 {
-				stretch.Add(dh / df)
+				hr.stretches = append(hr.stretches, dh/df)
 			}
 		}
 
@@ -124,7 +142,7 @@ func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 			}
 		}
 		if victim == graph.Invalid {
-			continue
+			return hr, nil
 		}
 		sess, nm, err := hier.StubTree(victimDomain)
 		if err != nil {
@@ -133,7 +151,7 @@ func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 		sub, _ := nm.ToSub(victim)
 		fSub, err := failure.WorstCaseFor(sess.Tree(), sub)
 		if err != nil {
-			continue
+			return hr, nil
 		}
 		fullA, _ := nm.ToFull(fSub.Edge.A)
 		fullB, _ := nm.ToFull(fSub.Edge.B)
@@ -141,22 +159,42 @@ func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
 
 		hrep, err := hier.Recover(f)
 		if err != nil {
-			continue // failure may be unrecoverable inside the domain
+			return hr, nil // failure may be unrecoverable inside the domain
 		}
 		frep, err := flat.Heal(f)
 		if err != nil {
+			return hr, nil
+		}
+		hr.ok = true
+		hr.scopeH = float64(hrep.NodesInDomain)
+		hr.scopeF = float64(ts.Graph.NumNodes())
+		hr.rdH = hrep.Heal.TotalRecoveryDistance()
+		hr.rdF = frep.TotalRecoveryDistance()
+		return hr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold in run order: delay-stretch observations from every run, scope/RD
+	// only from runs whose failure-recovery phase completed.
+	var stretch, scopeH, scopeF, rdH, rdF metrics.Sample
+	for _, hr := range runResults {
+		for _, s := range hr.stretches {
+			stretch.Add(s)
+		}
+		if !hr.ok {
 			continue
 		}
-		scopeH.Add(float64(hrep.NodesInDomain))
-		scopeF.Add(float64(ts.Graph.NumNodes()))
-		rdH.Add(hrep.Heal.TotalRecoveryDistance())
-		rdF.Add(frep.TotalRecoveryDistance())
+		scopeH.Add(hr.scopeH)
+		scopeF.Add(hr.scopeF)
+		rdH.Add(hr.rdH)
+		rdF.Add(hr.rdF)
 		out.Runs++
 	}
 	if out.Runs == 0 {
 		return nil, fmt.Errorf("experiment: no usable hierarchy runs")
 	}
-	var err error
 	if out.ScopeHier, err = scopeH.Summarize(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"smrp/internal/graph"
 	"smrp/internal/metrics"
 	"smrp/internal/protocol"
+	"smrp/internal/runner"
 	"smrp/internal/topology"
 )
 
@@ -40,25 +42,36 @@ func (r *LatencyResult) Render() string {
 	return b.String()
 }
 
+// latencyRun is one trial's measurement (ok=false when the victim was
+// unrecoverable in either protocol).
+type latencyRun struct {
+	ok         bool
+	sLat, gLat float64
+	sMsg, gMsg float64
+}
+
 // RunLatency builds paired protocol instances over random topologies, drives
 // member joins, injects each protocol's worst-case failure for a victim
-// member, and measures restoration latency.
+// member, and measures restoration latency. Runs execute on the parallel
+// runner and fold in run order (bit-identical for any worker count).
 func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
 	base := DefaultBase()
 	pcfg := protocol.DefaultConfig()
 	pcfg.SMRP = base.SMRP
 
 	out := &LatencyResult{}
-	var sLat, gLat metrics.Sample
-	var sMsg, gMsg float64
-	for r := 0; r < runs; r++ {
+	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (latencyRun, error) {
+		r := t.Index
 		rng := topology.NewRNG(seed + uint64(r)*7919)
 		g, err := topology.Waxman(topology.WaxmanConfig{
 			N: base.N, Alpha: base.Alpha, Beta: base.Beta, EnsureConnected: true,
 		}, rng)
 		if err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
+		// Reconvergence modeling re-runs Dijkstra from every LSA detector;
+		// memoize them for this run's private topology.
+		g.EnableSPFCache()
 		// Root at a well-connected node so single failures cannot partition
 		// the source itself.
 		source := graph.NodeID(0)
@@ -75,48 +88,48 @@ func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
 		}
 		smrp, err := protocol.NewSMRPInstance(g, source, pcfg)
 		if err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		spf, err := protocol.NewSPFInstance(g, source, pcfg)
 		if err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		for k, m := range members {
 			at := eventsim.Time(k + 1)
 			if err := smrp.ScheduleJoin(at, m); err != nil {
-				return nil, err
+				return latencyRun{}, err
 			}
 			if err := spf.ScheduleJoin(at, m); err != nil {
-				return nil, err
+				return latencyRun{}, err
 			}
 		}
 		if err := smrp.Run(200); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		if err := spf.Run(200); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 
 		victim := members[0]
 		fS, err := failure.WorstCaseFor(smrp.Session().Tree(), victim)
 		if err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		fG, err := failure.WorstCaseFor(spf.Session().Tree(), victim)
 		if err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		if err := smrp.InjectFailure(300, fS); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		if err := spf.InjectFailure(300, fG); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		if err := smrp.Run(2000); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 		if err := spf.Run(2000); err != nil {
-			return nil, err
+			return latencyRun{}, err
 		}
 
 		var sv, gv *protocol.Restoration
@@ -133,19 +146,36 @@ func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
 			}
 		}
 		if sv == nil || gv == nil {
+			return latencyRun{}, nil
+		}
+		return latencyRun{
+			ok:   true,
+			sLat: float64(sv.Latency),
+			gLat: float64(gv.Latency),
+			sMsg: float64(smrp.Network().Sent),
+			gMsg: float64(spf.Network().Sent),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var sLat, gLat metrics.Sample
+	var sMsg, gMsg float64
+	for _, lr := range runResults {
+		if !lr.ok {
 			out.Unrecoverable++
 			continue
 		}
-		sLat.Add(float64(sv.Latency))
-		gLat.Add(float64(gv.Latency))
-		sMsg += float64(smrp.Network().Sent)
-		gMsg += float64(spf.Network().Sent)
+		sLat.Add(lr.sLat)
+		gLat.Add(lr.gLat)
+		sMsg += lr.sMsg
+		gMsg += lr.gMsg
 		out.Scenarios++
 	}
 	if out.Scenarios == 0 {
 		return nil, fmt.Errorf("experiment: no recoverable latency scenarios out of %d", runs)
 	}
-	var err error
 	if out.SMRPLatency, err = sLat.Summarize(); err != nil {
 		return nil, err
 	}

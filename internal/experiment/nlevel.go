@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"smrp/internal/graph"
 	"smrp/internal/hierarchy"
 	"smrp/internal/metrics"
+	"smrp/internal/runner"
 	"smrp/internal/topology"
 )
 
@@ -37,22 +39,37 @@ func (r *NLevelResult) Render() string {
 	return b.String()
 }
 
+// nlevelRun is one trial's contribution (ok=false when the run was skipped
+// before its failure-recovery phase completed). Domains/Nodes describe the
+// generated topology and are recorded even for skipped runs, matching the
+// sequential accounting.
+type nlevelRun struct {
+	ok                   bool
+	scopeLeaf, scopeFlat float64
+	domains, nodes       int
+}
+
 // RunNLevel builds 3-level sessions, fails worst-case links inside leaf
 // domains, and compares the domain-confined scope against a flat session's
-// whole-network scope.
+// whole-network scope. Runs execute on the parallel runner and fold in run
+// order (bit-identical for any worker count).
 func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
 	cfg := topology.DefaultNLevelConfig()
 	out := &NLevelResult{Levels: cfg.Levels}
-	var scopeLeaf, scopeFlat metrics.Sample
 
-	for r := 0; r < runs; r++ {
+	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*nlevelRun, error) {
+		r := t.Index
+		nr := &nlevelRun{}
 		rng := topology.NewRNG(seed + uint64(r)*32452843)
 		nt, err := topology.GenerateNLevel(cfg, rng)
 		if err != nil {
 			return nil, err
 		}
-		out.Domains = len(nt.Domains)
-		out.Nodes = nt.Graph.NumNodes()
+		// Domain sessions and worst-case probes re-query shortest paths on
+		// the shared full topology; memoize them for this run.
+		nt.Graph.EnableSPFCache()
+		nr.domains = len(nt.Domains)
+		nr.nodes = nt.Graph.NumNodes()
 		leaves := nt.Leaves()
 		srcLeaf := nt.Domains[leaves[0]]
 		var src graph.NodeID = graph.Invalid
@@ -63,7 +80,7 @@ func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
 			}
 		}
 		if src == graph.Invalid {
-			continue
+			return nr, nil
 		}
 		sess, err := hierarchy.NewNLevel(nt, src, core.DefaultConfig())
 		if err != nil {
@@ -87,7 +104,7 @@ func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
 			}
 		}
 		if victim == graph.Invalid {
-			continue
+			return nr, nil
 		}
 		ds, nm, err := sess.DomainSession(victimDomain)
 		if err != nil {
@@ -96,22 +113,37 @@ func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
 		sub, _ := nm.ToSub(victim)
 		fSub, err := failure.WorstCaseFor(ds.Tree(), sub)
 		if err != nil {
-			continue
+			return nr, nil
 		}
 		a, _ := nm.ToFull(fSub.Edge.A)
 		b, _ := nm.ToFull(fSub.Edge.B)
 		rep, err := sess.Recover(failure.LinkDown(a, b))
 		if err != nil {
+			return nr, nil
+		}
+		nr.ok = true
+		nr.scopeLeaf = float64(rep.NodesInDomain)
+		nr.scopeFlat = float64(nt.Graph.NumNodes())
+		return nr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var scopeLeaf, scopeFlat metrics.Sample
+	for _, nr := range runResults {
+		out.Domains = nr.domains
+		out.Nodes = nr.nodes
+		if !nr.ok {
 			continue
 		}
-		scopeLeaf.Add(float64(rep.NodesInDomain))
-		scopeFlat.Add(float64(nt.Graph.NumNodes()))
+		scopeLeaf.Add(nr.scopeLeaf)
+		scopeFlat.Add(nr.scopeFlat)
 		out.Runs++
 	}
 	if out.Runs == 0 {
 		return nil, fmt.Errorf("experiment: no usable N-level runs")
 	}
-	var err error
 	if out.ScopeLeaf, err = scopeLeaf.Summarize(); err != nil {
 		return nil, err
 	}

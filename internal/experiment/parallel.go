@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"smrp/internal/runner"
+)
+
+// parallelism holds the worker-pool size used by every study in this
+// package. 0 means "use runtime.GOMAXPROCS(0)".
+var parallelism atomic.Int64
+
+// SetParallelism fixes the number of workers the experiment runners use for
+// scenario execution. n < 1 restores the default (GOMAXPROCS). It returns
+// the effective worker count. Studies are bit-deterministic in their output
+// regardless of this setting — it only changes wall-clock time.
+func SetParallelism(n int) int {
+	if n < 1 {
+		parallelism.Store(0)
+	} else {
+		parallelism.Store(int64(n))
+	}
+	return Parallelism()
+}
+
+// Parallelism returns the worker count studies currently use.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runnerConfig builds the pool configuration for one study sweep.
+func runnerConfig(seed uint64) runner.Config {
+	return runner.Config{Workers: Parallelism(), BaseSeed: seed}
+}
+
+// mapTrials runs n trials through the shared worker pool with this package's
+// parallelism setting. Results come back ordered by trial index, so callers
+// fold them sequentially and stay bit-deterministic for any worker count.
+func mapTrials[T any](seed uint64, n int, fn runner.Func[T]) ([]T, error) {
+	return runner.Map(context.Background(), runnerConfig(seed), n, fn)
+}
+
+// Merge folds other into a, preserving other's internal sample order after
+// a's (exactly associative, see metrics.Sample.Merge). Folding per-trial
+// aggregates in trial order reproduces the sequential accumulation
+// bit-for-bit.
+func (a *Aggregate) Merge(other *Aggregate) {
+	a.RDRel.Merge(&other.RDRel)
+	a.DelayRel.Merge(&other.DelayRel)
+	a.CostRel.Merge(&other.CostRel)
+	a.RDRelLocalOnSPF.Merge(&other.RDRelLocalOnSPF)
+	a.Unrecoverable += other.Unrecoverable
+	a.AvgDegree.Merge(&other.AvgDegree)
+}

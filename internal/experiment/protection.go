@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"smrp/internal/graph"
 	"smrp/internal/metrics"
 	"smrp/internal/protect"
+	"smrp/internal/runner"
 	"smrp/internal/spfbase"
 	"smrp/internal/topology"
 )
@@ -50,18 +52,35 @@ func (r *ProtectionResult) Render() string {
 	return b.String()
 }
 
-// RunProtection executes the comparison on biconnected Waxman samples.
+// protRun is one trial's contribution (ok=false when no biconnected sample
+// was drawn). Per-member observations are carried as slices so the fold can
+// reproduce the sequential sample order exactly.
+type protRun struct {
+	ok                         bool
+	hasCost                    bool
+	costSMRP, costRed, costDep float64
+	rdSPF, rdSMRP              []float64
+	redOK, redTotal            int
+	depOK, depTotal            int
+}
+
+// RunProtection executes the comparison on biconnected Waxman samples. Runs
+// execute on the parallel runner and fold in run order (bit-identical for any
+// worker count).
 func RunProtection(runs int, seed uint64) (*ProtectionResult, error) {
 	out := &ProtectionResult{}
-	var rdSMRP, rdSPF, costSMRP, costRed, costDep metrics.Sample
-	var redOK, redTotal, depOK, depTotal int
 
-	for r := 0; r < runs; r++ {
+	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*protRun, error) {
+		r := t.Index
+		pr := &protRun{}
 		rng := topology.NewRNG(seed + uint64(r)*15485863)
 		g := sampleBiconnected(rng, 60)
 		if g == nil {
-			continue
+			return pr, nil
 		}
+		// Four schemes plus worst-case probes all re-query shortest paths on
+		// this run's private topology; memoize them.
+		g.EnableSPFCache()
 		source := graph.NodeID(0)
 		var members []graph.NodeID
 		for _, id := range rng.Sample(g.NumNodes(), 13) {
@@ -118,9 +137,10 @@ func RunProtection(runs int, seed uint64) (*ProtectionResult, error) {
 			return nil, err
 		}
 		if spfCost > 0 {
-			costSMRP.Add(smrpCost / spfCost)
-			costRed.Add(redCost / spfCost)
-			costDep.Add(depCost / spfCost)
+			pr.hasCost = true
+			pr.costSMRP = smrpCost / spfCost
+			pr.costRed = redCost / spfCost
+			pr.costDep = depCost / spfCost
 		}
 
 		for _, m := range members {
@@ -133,29 +153,56 @@ func RunProtection(runs int, seed uint64) (*ProtectionResult, error) {
 				return nil, err
 			}
 			if _, rd, err := failure.GlobalDetour(spf.Tree(), fSPF.Mask(), m); err == nil {
-				rdSPF.Add(rd)
+				pr.rdSPF = append(pr.rdSPF, rd)
 			}
 			if _, rd, err := failure.LocalDetour(smrp.Tree(), fSMRP.Mask(), m); err == nil {
-				rdSMRP.Add(rd)
+				pr.rdSMRP = append(pr.rdSMRP, rd)
 			}
 			// Preplanned schemes face the SPF-tree worst case (they have no
 			// tree of their own shape to bias the pick).
-			redTotal++
+			pr.redTotal++
 			reach := rt.Survives(fSPF.Mask(), m)
 			if reach.ViaRed || reach.ViaBlue {
-				redOK++
+				pr.redOK++
 			}
-			depTotal++
+			pr.depTotal++
 			if o, err := dep.Failover(fSPF.Mask(), m); err == nil && o != protect.BothChannelsDown {
-				depOK++
+				pr.depOK++
 			}
 		}
+		pr.ok = true
+		return pr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rdSMRP, rdSPF, costSMRP, costRed, costDep metrics.Sample
+	var redOK, redTotal, depOK, depTotal int
+	for _, pr := range runResults {
+		if !pr.ok {
+			continue
+		}
+		if pr.hasCost {
+			costSMRP.Add(pr.costSMRP)
+			costRed.Add(pr.costRed)
+			costDep.Add(pr.costDep)
+		}
+		for _, rd := range pr.rdSPF {
+			rdSPF.Add(rd)
+		}
+		for _, rd := range pr.rdSMRP {
+			rdSMRP.Add(rd)
+		}
+		redOK += pr.redOK
+		redTotal += pr.redTotal
+		depOK += pr.depOK
+		depTotal += pr.depTotal
 		out.Runs++
 	}
 	if out.Runs == 0 {
 		return nil, fmt.Errorf("experiment: no biconnected samples drawn")
 	}
-	var err error
 	if out.RDSMRP, err = rdSMRP.Summarize(); err != nil {
 		return nil, err
 	}

@@ -78,7 +78,19 @@ var _ heap.Interface = (*pq)(nil)
 // Dijkstra computes the shortest-path tree from src over the graph minus the
 // mask. It uses a lazy-deletion binary heap; ties are broken on node ID, so
 // the resulting tree is deterministic.
+//
+// When an SPF cache is attached (EnableSPFCache) the result is memoized by
+// (src, mask fingerprint) and shared between callers, which also makes the
+// call safe for concurrent use; cached trees must be treated as read-only.
 func (g *Graph) Dijkstra(src NodeID, mask *Mask) *SPTree {
+	if g.spf != nil {
+		return g.spf.Dijkstra(src, mask)
+	}
+	return g.dijkstra(src, mask)
+}
+
+// dijkstra is the uncached shortest-path-tree computation.
+func (g *Graph) dijkstra(src NodeID, mask *Mask) *SPTree {
 	n := g.NumNodes()
 	t := &SPTree{
 		Source: src,

@@ -79,6 +79,14 @@ type Graph struct {
 	adj     [][]Arc
 	pos     []Point
 	weights map[EdgeID]float64
+	// version counts structural mutations (nodes, edges, positions). The
+	// SPF cache uses it to invalidate memoized shortest-path trees when the
+	// topology changes. Mutation is single-threaded by contract (see
+	// EnableSPFCache), so no atomicity is needed.
+	version uint64
+	// spf, when non-nil, memoizes Dijkstra results keyed by (source,
+	// mask fingerprint). See EnableSPFCache.
+	spf *SPFCache
 }
 
 // New returns a graph with n nodes (IDs 0..n-1) and no edges. Node positions
@@ -104,11 +112,20 @@ func (g *Graph) AddNode(p Point) NodeID {
 	if g.weights == nil {
 		g.weights = make(map[EdgeID]float64)
 	}
+	g.version++
 	return NodeID(len(g.adj) - 1)
 }
 
 // SetPos sets the position of node n.
-func (g *Graph) SetPos(n NodeID, p Point) { g.pos[n] = p }
+func (g *Graph) SetPos(n NodeID, p Point) {
+	g.pos[n] = p
+	g.version++
+}
+
+// Version returns the structural-mutation counter. It increases whenever a
+// node, edge, or position changes, and is what invalidates memoized SPF
+// state (see SPFCache).
+func (g *Graph) Version() uint64 { return g.version }
 
 // Pos returns the position of node n.
 func (g *Graph) Pos(n NodeID) Point { return g.pos[n] }
@@ -139,6 +156,7 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	g.weights[id] = w
 	g.adj[u] = append(g.adj[u], Arc{To: v, Weight: w})
 	g.adj[v] = append(g.adj[v], Arc{To: u, Weight: w})
+	g.version++
 	return nil
 }
 
@@ -207,9 +225,17 @@ func (g *Graph) Clone() *Graph {
 // Mask excludes nodes and/or edges from traversal, expressing component
 // failures or deliberate avoidance without mutating the graph. A nil *Mask
 // excludes nothing.
+//
+// The mask maintains its Fingerprint incrementally (XOR is self-inverse and
+// commutative), so fingerprint queries on the SPF-cache hot path are O(1)
+// regardless of how many elements are blocked.
 type Mask struct {
 	nodes map[NodeID]bool
 	edges map[EdgeID]bool
+	// fp is the running XOR of per-element mixes; count the number of
+	// blocked elements folded into it.
+	fp    uint64
+	count int
 }
 
 // NewMask returns an empty mask.
@@ -217,16 +243,35 @@ func NewMask() *Mask {
 	return &Mask{nodes: make(map[NodeID]bool), edges: make(map[EdgeID]bool)}
 }
 
+// nodeMix is the fingerprint contribution of a blocked node.
+func nodeMix(n NodeID) uint64 {
+	return mix64(uint64(n) ^ 0xA5A5_0000_0000_0001)
+}
+
+// edgeMix is the fingerprint contribution of a blocked edge.
+func edgeMix(e EdgeID) uint64 {
+	return mix64(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
+}
+
 // BlockNode marks node n as unusable and returns the mask for chaining.
 func (m *Mask) BlockNode(n NodeID) *Mask {
-	m.nodes[n] = true
+	if !m.nodes[n] {
+		m.nodes[n] = true
+		m.fp ^= nodeMix(n)
+		m.count++
+	}
 	return m
 }
 
 // BlockEdge marks the undirected edge (u, v) as unusable and returns the mask
 // for chaining.
 func (m *Mask) BlockEdge(u, v NodeID) *Mask {
-	m.edges[MakeEdgeID(u, v)] = true
+	e := MakeEdgeID(u, v)
+	if !m.edges[e] {
+		m.edges[e] = true
+		m.fp ^= edgeMix(e)
+		m.count++
+	}
 	return m
 }
 
@@ -261,7 +306,35 @@ func (m *Mask) Clone() *Mask {
 			c.edges[e] = true
 		}
 	}
+	c.fp = m.fp
+	c.count = m.count
 	return c
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit bit mixer
+// used for mask fingerprints and cache sharding.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the blocked set.
+// Blocked elements are combined commutatively (XOR of per-element mixes,
+// maintained incrementally as elements are blocked), so the fingerprint is
+// independent of insertion order and costs O(1) to query. A nil or empty
+// mask fingerprints to 0. Masks with equal fingerprints are treated as equal
+// by the SPF cache; the per-element mixing keeps accidental collisions
+// vanishingly unlikely at cache scale.
+func (m *Mask) Fingerprint() uint64 {
+	if m == nil || m.count == 0 {
+		return 0
+	}
+	// Fold the element count in so masks whose XORs cancel still differ.
+	return mix64(m.fp ^ uint64(m.count)<<1 ^ 0x9E3779B97F4A7C15)
 }
 
 // Union returns a new mask blocking everything blocked by m or other.
@@ -271,13 +344,17 @@ func (m *Mask) Union(other *Mask) *Mask {
 		return c
 	}
 	for n, v := range other.nodes {
-		if v {
+		if v && !c.nodes[n] {
 			c.nodes[n] = true
+			c.fp ^= nodeMix(n)
+			c.count++
 		}
 	}
 	for e, v := range other.edges {
-		if v {
+		if v && !c.edges[e] {
 			c.edges[e] = true
+			c.fp ^= edgeMix(e)
+			c.count++
 		}
 	}
 	return c

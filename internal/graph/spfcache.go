@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// spfShardCount is the number of independent lock domains in an SPFCache.
+// Sixteen shards keep lock contention negligible for worker pools up to a
+// few dozen goroutines while costing almost nothing at rest.
+const spfShardCount = 16
+
+// defaultSPFShardCap bounds each shard. When a shard fills up it is cleared
+// wholesale — memoization is purely a performance optimization, so dropping
+// entries is always safe, and wholesale clearing avoids the bookkeeping of
+// an LRU on the hot path.
+const defaultSPFShardCap = 512
+
+// spfKey identifies one memoized shortest-path tree: the Dijkstra source
+// plus the fingerprint of the failure mask it was computed under.
+type spfKey struct {
+	src NodeID
+	fp  uint64
+}
+
+type spfShard struct {
+	mu sync.RWMutex
+	m  map[spfKey]*SPTree
+}
+
+// SPFCache is a concurrency-safe memoization layer over Graph.Dijkstra,
+// sharded by (source, mask-fingerprint) so parallel scenario trials that
+// share a topology stop recomputing identical shortest-path trees from
+// scratch.
+//
+// Cached *SPTree values are shared between callers and MUST be treated as
+// read-only; every consumer in this repository already does (PathTo and Dist
+// lookups only).
+//
+// Invalidation: the cache snapshots the graph's structural version and
+// flushes itself whenever the graph mutates (AddNode/AddEdge/SetPos bump the
+// version). Mutating the graph while other goroutines query the cache is not
+// supported — the contract is "mutate single-threaded, then share read-only",
+// which is how every topology in this repository is built.
+type SPFCache struct {
+	g       *Graph
+	version atomic.Uint64
+	shards  [spfShardCount]spfShard
+	cap     int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSPFCache builds a cache over g. capPerShard bounds each of the 16
+// shards; values < 1 select the default (512 entries per shard).
+func NewSPFCache(g *Graph, capPerShard int) *SPFCache {
+	if capPerShard < 1 {
+		capPerShard = defaultSPFShardCap
+	}
+	c := &SPFCache{g: g, cap: capPerShard}
+	c.version.Store(g.version)
+	for i := range c.shards {
+		c.shards[i].m = make(map[spfKey]*SPTree)
+	}
+	return c
+}
+
+// Dijkstra returns the shortest-path tree from src under mask, computing and
+// memoizing it on first use. Safe for concurrent use. The returned tree is
+// shared: callers must not mutate it.
+func (c *SPFCache) Dijkstra(src NodeID, mask *Mask) *SPTree {
+	if c.g.version != c.version.Load() {
+		c.flushTo(c.g.version)
+	}
+	key := spfKey{src: src, fp: mask.Fingerprint()}
+	sh := &c.shards[mix64(uint64(uint32(key.src))^key.fp)%spfShardCount]
+
+	sh.mu.RLock()
+	t, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return t
+	}
+	c.misses.Add(1)
+	t = c.g.dijkstra(src, mask)
+	sh.mu.Lock()
+	if len(sh.m) >= c.cap {
+		// Shard full: drop it wholesale. Correctness never depends on a
+		// cache hit, and clearing is O(1) amortized vs. LRU bookkeeping.
+		sh.m = make(map[spfKey]*SPTree)
+	}
+	// Last writer wins on a racing double-compute; both results are
+	// identical because dijkstra is deterministic.
+	sh.m[key] = t
+	sh.mu.Unlock()
+	return t
+}
+
+// Flush drops every memoized tree.
+func (c *SPFCache) Flush() { c.flushTo(c.g.version) }
+
+// flushTo clears all shards and records the graph version the cache now
+// reflects. Racing flushes are harmless: both clear, and the version
+// converges to the current graph version.
+func (c *SPFCache) flushTo(v uint64) {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		c.shards[i].m = make(map[spfKey]*SPTree)
+		c.shards[i].mu.Unlock()
+	}
+	c.version.Store(v)
+}
+
+// Len returns the number of memoized trees across all shards.
+func (c *SPFCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *SPFCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// String describes the cache state.
+func (c *SPFCache) String() string {
+	h, m := c.Stats()
+	return fmt.Sprintf("graph.SPFCache{entries=%d hits=%d misses=%d}", c.Len(), h, m)
+}
+
+// EnableSPFCache attaches a memoizing SPF cache to the graph: all subsequent
+// Dijkstra and ShortestPath calls consult it transparently, making them both
+// faster on repeated queries and safe for concurrent use. Idempotent — the
+// existing cache is kept if one is already attached. Returns the cache.
+//
+// Call this after topology generation is complete. The graph may still be
+// mutated afterwards (the cache flushes itself via the version counter), but
+// never concurrently with readers.
+func (g *Graph) EnableSPFCache() *SPFCache {
+	if g.spf == nil {
+		g.spf = NewSPFCache(g, 0)
+	}
+	return g.spf
+}
+
+// DisableSPFCache detaches the memoizing SPF cache, returning Dijkstra to
+// uncached per-call computation.
+func (g *Graph) DisableSPFCache() { g.spf = nil }
+
+// SPFCacheOf returns the graph's attached SPF cache, or nil when disabled.
+func (g *Graph) SPFCacheOf() *SPFCache { return g.spf }

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// cacheTestGraph builds a small weighted graph:
+//
+//	0 —1— 1 —1— 2
+//	 \         /
+//	  2———————3   (0–4–2 via node 3? no: direct edge 0-3 w2, 3-2 w2)
+func cacheTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(5)
+	edges := []struct {
+		u, v NodeID
+		w    float64
+	}{
+		{0, 1, 1}, {1, 2, 1}, {0, 3, 2}, {3, 2, 2}, {2, 4, 1},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSPFCacheHitsAndEquivalence(t *testing.T) {
+	g := cacheTestGraph(t)
+	want := g.Dijkstra(0, nil) // uncached reference
+	c := g.EnableSPFCache()
+
+	t1 := g.Dijkstra(0, nil)
+	t2 := g.Dijkstra(0, nil)
+	if t1 != t2 {
+		t.Error("second lookup should return the memoized tree")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	for n := range want.Dist {
+		if want.Dist[n] != t1.Dist[n] || want.Parent[n] != t1.Parent[n] {
+			t.Errorf("node %d: cached (%v,%v) != uncached (%v,%v)",
+				n, t1.Dist[n], t1.Parent[n], want.Dist[n], want.Parent[n])
+		}
+	}
+}
+
+func TestSPFCacheDistinguishesMasks(t *testing.T) {
+	g := cacheTestGraph(t)
+	g.EnableSPFCache()
+
+	free := g.Dijkstra(0, nil)
+	masked := g.Dijkstra(0, NewMask().BlockEdge(0, 1))
+	if free == masked {
+		t.Fatal("different masks must not share a cache entry")
+	}
+	if free.Dist[2] != 2 {
+		t.Errorf("unmasked dist to 2 = %v, want 2", free.Dist[2])
+	}
+	if masked.Dist[2] != 4 {
+		t.Errorf("masked dist to 2 = %v, want 4 (via 0-3-2)", masked.Dist[2])
+	}
+}
+
+func TestSPFCacheInvalidatesOnMutation(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := g.EnableSPFCache()
+
+	before := g.Dijkstra(0, nil)
+	if before.Dist[4] != 3 {
+		t.Fatalf("dist to 4 = %v, want 3", before.Dist[4])
+	}
+	if err := g.AddEdge(0, 4, 0.5); err != nil { // shortcut mutates topology
+		t.Fatal(err)
+	}
+	after := g.Dijkstra(0, nil)
+	if after.Dist[4] != 0.5 {
+		t.Errorf("post-mutation dist to 4 = %v, want 0.5 (cache must flush)", after.Dist[4])
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache should hold exactly the recomputed tree, len = %d", c.Len())
+	}
+}
+
+func TestSPFCacheConcurrentLookups(t *testing.T) {
+	g := cacheTestGraph(t)
+	g.EnableSPFCache()
+	want := g.dijkstra(1, nil)
+
+	var wg sync.WaitGroup
+	const goroutines = 16
+	errs := make([]string, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				src := NodeID(k % 5)
+				tr := g.Dijkstra(src, nil)
+				if tr.Source != src {
+					errs[slot] = "wrong source tree returned"
+					return
+				}
+				if src == 1 && tr.Dist[4] != want.Dist[4] {
+					errs[slot] = "cached tree diverges from direct computation"
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+func TestSPFCacheShardEviction(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewSPFCache(g, 2) // tiny shards to force eviction
+	for k := 0; k < 100; k++ {
+		m := NewMask().BlockNode(NodeID(k%3 + 1))
+		if k%2 == 0 {
+			m.BlockEdge(2, 4)
+		}
+		_ = c.Dijkstra(0, m)
+	}
+	if c.Len() > 2*spfShardCount {
+		t.Errorf("cache exceeded its bound: %d entries", c.Len())
+	}
+}
+
+func TestMaskFingerprint(t *testing.T) {
+	a := NewMask().BlockNode(3).BlockEdge(1, 2)
+	b := NewMask().BlockEdge(2, 1).BlockNode(3) // same set, different order
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint must be insertion-order independent")
+	}
+	if (&Mask{}).Fingerprint() != (*Mask)(nil).Fingerprint() {
+		t.Error("empty and nil masks must fingerprint identically")
+	}
+	c := NewMask().BlockNode(3)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different blocked sets should fingerprint differently")
+	}
+	// A node-block and an edge-block must not collide trivially.
+	n := NewMask().BlockNode(1)
+	e := NewMask().BlockEdge(0, 1)
+	if n.Fingerprint() == e.Fingerprint() {
+		t.Error("node vs edge block collided")
+	}
+}

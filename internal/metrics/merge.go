@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the mergeable-accumulator support used by the parallel
+// scenario runner: per-worker Samples, Summaries and Histograms combine into
+// the whole-sweep statistic without re-streaming raw observations.
+
+// Merge appends all of other's observations to s, preserving their order.
+// Concatenation is exactly associative, so merging per-worker samples in
+// trial-index-block order (runner.Reduce's contract) reproduces the
+// sequential accumulation bit-for-bit. A nil other is a no-op.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	s.values = append(s.values, other.values...)
+}
+
+// Merge combines two summaries as if their underlying samples had been
+// pooled, without access to the raw observations. Mean and variance combine
+// via the parallel-variance recurrence (Chan et al., 1979):
+//
+//	n   = n_a + n_b
+//	δ   = mean_b − mean_a
+//	mean = mean_a + δ·n_b/n
+//	M2   = M2_a + M2_b + δ²·n_a·n_b/n
+//
+// Min/Max take the extrema and CI95 is recomputed for the pooled size.
+// The operation is commutative and associative up to floating-point
+// round-off; an empty side is the identity.
+func (s Summary) Merge(other Summary) Summary {
+	if s.N == 0 {
+		return other
+	}
+	if other.N == 0 {
+		return s
+	}
+	na, nb := float64(s.N), float64(other.N)
+	n := na + nb
+	delta := other.Mean - s.Mean
+	mean := s.Mean + delta*nb/n
+
+	// Recover the second central moments: M2 = var·(n−1).
+	m2a := s.Std * s.Std * (na - 1)
+	m2b := other.Std * other.Std * (nb - 1)
+	m2 := m2a + m2b + delta*delta*na*nb/n
+
+	out := Summary{
+		N:    s.N + other.N,
+		Mean: mean,
+		Min:  math.Min(s.Min, other.Min),
+		Max:  math.Max(s.Max, other.Max),
+	}
+	if out.N > 1 {
+		out.Std = math.Sqrt(m2 / (n - 1))
+		out.CI95 = tCritical95(out.N-1) * out.Std / math.Sqrt(n)
+	}
+	return out
+}
+
+// Merge adds other's bucket counts into h. The histograms must have been
+// built over the same range with the same bin count — per-worker histograms
+// in a parallel sweep should therefore be constructed with fixed, agreed
+// bounds (see NewFixedHistogram) rather than data-dependent ones.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.Counts) != len(other.Counts) || h.Lo != other.Lo || h.Hi != other.Hi {
+		return fmt.Errorf("metrics: histogram shapes differ: [%v,%v]×%d vs [%v,%v]×%d",
+			h.Lo, h.Hi, len(h.Counts), other.Lo, other.Hi, len(other.Counts))
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// NewFixedHistogram returns an empty histogram with caller-chosen bounds, so
+// independently-filled copies (one per worker) can be merged exactly. It
+// errors when the range is inverted or bins < 1.
+func NewFixedHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("metrics: %d bins, need at least 1", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("metrics: histogram range [%v, %v] is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Observe buckets one value into the histogram. Values outside [Lo, Hi]
+// clamp into the first/last bin so fixed-bound worker histograms never drop
+// observations.
+func (h *Histogram) Observe(v float64) {
+	bins := len(h.Counts)
+	if bins == 0 {
+		return
+	}
+	width := (h.Hi - h.Lo) / float64(bins)
+	idx := 0
+	if width > 0 {
+		idx = int((v - h.Lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+	}
+	h.Counts[idx]++
+}

@@ -61,30 +61,46 @@ func (c Config) Validate() error {
 }
 
 // Domain is a link-state routing domain over one graph. Tables are computed
-// lazily per node against the currently-applied failure set and invalidated
-// when new failures are applied.
+// lazily per node against the currently-applied failure set and memoized in a
+// concurrency-safe SPF cache keyed by (node, failure-mask fingerprint), so
+// applying a failure and then rolling back to a previously-seen mask reuses
+// the earlier tables, and paired protocol instances over the same graph share
+// one table store.
 //
-// Domain is not safe for concurrent use.
+// Read queries (PathTo, Dist, NextHop, ConvergenceTime) are safe for
+// concurrent use. ApplyFailure mutates the domain's topology view and must be
+// externally synchronized with readers — the usual pattern (one event-driven
+// simulation owning the domain, or parallel trials each owning a private
+// domain) satisfies this naturally.
 type Domain struct {
-	g      *graph.Graph
-	cfg    Config
-	mask   *graph.Mask
-	tables map[graph.NodeID]*graph.SPTree
+	g    *graph.Graph
+	cfg  Config
+	mask *graph.Mask
+	// spf memoizes per-node shortest-path trees. When the graph has an
+	// attached cache (Graph.EnableSPFCache) that one is shared; otherwise the
+	// domain gets a private cache.
+	spf *graph.SPFCache
 	// lastFailure supports ConvergenceTime queries for the most recent
 	// failure event.
 	lastFailure *failure.Failure
 }
 
-// NewDomain builds a routing domain over g.
+// NewDomain builds a routing domain over g. If g has an attached SPF cache it
+// is reused (sharing memoized trees with every other consumer of the graph);
+// otherwise the domain creates a private cache.
 func NewDomain(g *graph.Graph, cfg Config) (*Domain, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	spf := g.SPFCacheOf()
+	if spf == nil {
+		spf = graph.NewSPFCache(g, 0)
+	}
 	return &Domain{
-		g:      g,
-		cfg:    cfg,
-		mask:   graph.NewMask(),
-		tables: make(map[graph.NodeID]*graph.SPTree),
+		g:    g,
+		cfg:  cfg,
+		mask: graph.NewMask(),
+		spf:  spf,
 	}, nil
 }
 
@@ -95,25 +111,21 @@ func (d *Domain) Graph() *graph.Graph { return d.g }
 // mutate it).
 func (d *Domain) Mask() *graph.Mask { return d.mask }
 
-// ApplyFailure folds a failure into the domain's view of the topology and
-// invalidates all routing tables (they will reflect the post-reconvergence
-// state when next queried).
+// ApplyFailure folds a failure into the domain's view of the topology.
+// Routing tables need no explicit invalidation: the SPF cache keys on the
+// failure-mask fingerprint, so the next table query under the new mask is a
+// distinct entry (and tables for the old mask remain valid if re-queried).
 func (d *Domain) ApplyFailure(f failure.Failure) {
 	d.mask = d.mask.Union(f.Mask())
-	d.tables = make(map[graph.NodeID]*graph.SPTree)
 	fCopy := f
 	d.lastFailure = &fCopy
 }
 
 // table returns (computing if needed) the node's shortest-path tree over the
-// current topology view.
+// current topology view. Trees come from the shared SPF cache and must be
+// treated as read-only.
 func (d *Domain) table(n graph.NodeID) *graph.SPTree {
-	t, ok := d.tables[n]
-	if !ok {
-		t = d.g.Dijkstra(n, d.mask)
-		d.tables[n] = t
-	}
-	return t
+	return d.spf.Dijkstra(n, d.mask)
 }
 
 // PathTo returns from's current unicast route to dst (from → … → dst), or
@@ -183,7 +195,7 @@ func (d *Domain) ConvergenceTime(n graph.NodeID, f failure.Failure) eventsim.Tim
 			best = 0
 			break
 		}
-		t := d.g.Dijkstra(det, mask)
+		t := d.spf.Dijkstra(det, mask)
 		if t.Reachable(n) && t.Dist[n] < best {
 			best = t.Dist[n]
 		}
@@ -196,5 +208,5 @@ func (d *Domain) ConvergenceTime(n graph.NodeID, f failure.Failure) eventsim.Tim
 
 // String describes the domain state.
 func (d *Domain) String() string {
-	return fmt.Sprintf("routing.Domain{nodes=%d cached=%d}", d.g.NumNodes(), len(d.tables))
+	return fmt.Sprintf("routing.Domain{nodes=%d cached=%d}", d.g.NumNodes(), d.spf.Len())
 }

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Reduce executes n trials and streams each trial's result into a
+// per-worker accumulator, avoiding the O(n) result buffer Map keeps. This is
+// the memory-bounded path for very large sweeps.
+//
+// Determinism: trials are partitioned into contiguous index blocks — worker
+// w owns [w·⌈n/W⌉, (w+1)·⌈n/W⌉) — each worker folds its block in ascending
+// index order, and the per-worker accumulators merge in block order. The
+// overall fold order is therefore exactly 0,1,…,n−1 for ANY worker count, so
+// any merge that concatenates or is otherwise exactly associative (e.g.
+// metrics.Sample.Merge) reproduces the sequential fold bit-for-bit.
+// Merges that are only approximately associative (floating-point moment
+// merging, metrics.Summary.Merge) are deterministic for a fixed worker count
+// and equal across worker counts up to float round-off.
+//
+// newAcc creates one empty accumulator per worker; fold folds one trial
+// result into a worker's accumulator; merge combines two accumulators
+// (left argument is the lower index block).
+//
+// Error policy (deterministic, matching Map): each worker stops its own
+// block at that block's first failure — ascending order makes that the block
+// minimum — while other blocks run to completion, so the reported error is
+// the globally lowest-numbered failing trial regardless of scheduling.
+// Parent-context cancellation aborts everything and reports ctx.Err().
+func Reduce[T, A any](
+	ctx context.Context,
+	cfg Config,
+	n int,
+	fn Func[T],
+	newAcc func() A,
+	fold func(A, T) A,
+	merge func(A, A) A,
+) (A, error) {
+	cfg = cfg.normalize()
+	var zero A
+	if n < 0 {
+		return zero, &TrialError{Index: -1, Err: errors.New("negative trial count")}
+	}
+	if n == 0 {
+		return newAcc(), ctx.Err()
+	}
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	block := (n + workers - 1) / workers
+
+	accs := make([]A, workers)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := newAcc()
+			lo, hi := w*block, (w+1)*block
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				out, err := call(ctx, fn, cfg.trial(i))
+				if err != nil {
+					if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+						break
+					}
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						err = &TrialError{Index: i, Err: err}
+					}
+					record(i, err)
+					break // block minimum found; later indices can't lower it
+				}
+				acc = fold(acc, out)
+			}
+			accs[w] = acc
+		}(w)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if firstErr != nil {
+		return zero, firstErr
+	}
+	total := accs[0]
+	for _, a := range accs[1:] {
+		total = merge(total, a)
+	}
+	return total, nil
+}

@@ -28,11 +28,16 @@ var (
 // so shared prefixes merge maximally — exactly the link/node concentration
 // SMRP is designed to avoid.
 //
-// Session is not safe for concurrent use.
+// Session is not safe for concurrent use. Its shortest-path queries go
+// through graph.Graph.Dijkstra, so when the topology has a memoizing SPF
+// cache attached (Graph.EnableSPFCache) sessions over the same graph share
+// memoized trees automatically — including across parallel trials that pair
+// an SPF baseline with SMRP variants on one topology.
 type Session struct {
 	g    *graph.Graph
 	tree *multicast.Tree
 	// spt caches the source's shortest-path tree over the healthy network.
+	// It may be shared with the graph's SPF cache and must not be mutated.
 	spt *graph.SPTree
 }
 
