@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// benchGraph builds an evaluation-scale Waxman topology (paper-style, 100
+// nodes) deterministically.
+func benchGraph(tb testing.TB, seed uint64) *graph.Graph {
+	tb.Helper()
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		N:               100,
+		Alpha:           0.2,
+		Beta:            topology.DefaultBeta,
+		EnsureConnected: true,
+	}, topology.NewRNG(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEnumerateCandidates measures one full candidate enumeration (the
+// per-join hot path) against a ~25-member tree on a 100-node topology.
+func BenchmarkEnumerateCandidates(b *testing.B) {
+	g := benchGraph(b, 2005)
+	rng := topology.NewRNG(2005)
+	tr := growRandomTree(b, g, 0, 25, rng)
+	shr := ComputeSHR(tr)
+
+	// A deterministic off-tree joiner.
+	joiner := graph.Invalid
+	for v := g.NumNodes() - 1; v >= 0; v-- {
+		if !tr.OnTree(graph.NodeID(v)) {
+			joiner = graph.NodeID(v)
+			break
+		}
+	}
+	if joiner == graph.Invalid {
+		b.Fatal("no off-tree joiner")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enumerateFull(tr, joiner, shr, nil)
+	}
+}
+
+// BenchmarkJoinSession measures building a 30-member session from scratch —
+// enumeration, path selection, SHR maintenance, and grafting together.
+func BenchmarkJoinSession(b *testing.B) {
+	g := benchGraph(b, 2005)
+	members := topology.NewRNG(77).Sample(g.NumNodes(), 30)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(g, 0, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range members {
+			if graph.NodeID(m) == 0 {
+				continue
+			}
+			if _, err := s.Join(graph.NodeID(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -34,24 +34,38 @@ const delayEps = 1e-9
 // paths connecting to the current tree" under footnote 4 (only the shortest
 // connection per merger is considered).
 //
+// It runs as a single absorbing Dijkstra sweep rooted at the joiner: on-tree
+// nodes settle as path endpoints but are never relaxed through, so one
+// O(E log V) pass yields, for every merger simultaneously, the shortest
+// connection whose interior avoids the tree. On an undirected graph this is
+// exactly the per-merger formulation above — a connection's interior is
+// off-tree in both views, and Dijkstra's optimality applies per endpoint —
+// but without the old per-merger full Dijkstra plus O(|tree|) mask clone
+// (O(|tree|·E log V) per join).
+//
+// ConnDelay is recomputed from the materialized merger→joiner path with
+// Path.Weight rather than read off the sweep's joiner-rooted accumulation,
+// keeping the float left-to-right summation order — and therefore every
+// downstream selection decision — bit-identical to the per-merger version.
+//
 // extraMask additionally blocks nodes/edges (used by reshaping to keep the
 // member's own subtree out of the new path). The joiner must be off-tree.
 func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]int, extraMask *graph.Mask) []Candidate {
 	g := t.Graph()
 	treeNodes := t.Nodes()
 	out := make([]Candidate, 0, len(treeNodes))
+
+	sw := g.NewSweep()
+	defer sw.Release()
+	sw.Run(joiner, extraMask, t.OnTree)
+
 	for _, merger := range treeNodes {
-		if extraMask.NodeBlocked(merger) {
+		if extraMask.NodeBlocked(merger) || !sw.Reached(merger) {
 			continue
 		}
-		mask := extraMask.Clone()
-		for _, n := range treeNodes {
-			if n != merger {
-				mask.BlockNode(n)
-			}
-		}
-		conn, d := g.ShortestPath(merger, joiner, mask)
-		if conn == nil {
+		conn := sw.PathFrom(merger) // merger → … → joiner
+		d, err := conn.Weight(g)
+		if err != nil {
 			continue
 		}
 		treeDelay, err := t.DelayTo(merger)

@@ -291,12 +291,9 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 	}
 
 	// New-path candidates must avoid m's own subtree (cycle prevention).
-	mask := graph.NewMask()
-	for _, n := range subNodes {
-		if n != m {
-			mask.BlockNode(n)
-		}
-	}
+	// Block the whole subtree in one call, then lift m itself — m is the
+	// joiner, not an obstacle.
+	mask := graph.NewMask().BlockNodes(subNodes...).UnblockNode(m)
 	var cands []Candidate
 	switch s.cfg.Knowledge {
 	case QueryScheme:

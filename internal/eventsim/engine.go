@@ -10,10 +10,11 @@
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+
+	"smrp/internal/pqueue"
 )
 
 // Time is virtual simulation time in abstract delay units (the same units
@@ -40,39 +41,17 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // At returns the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// eventHeap orders events by time, breaking ties by scheduling sequence so
-// simultaneous events fire in FIFO order (determinism).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Before orders events by time, breaking ties by scheduling sequence so
+// simultaneous events fire in FIFO order (determinism). It implements
+// pqueue.Ordered, letting the engine's queue run on the shared generic
+// min-heap instead of container/heap's `any`-boxed interface (which
+// allocated on every Push and type-asserted on every Pop).
+func (e *Event) Before(other *Event) bool {
+	if e.at != other.at {
+		return e.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < other.seq
 }
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return // heap.Push is only called with *Event from this package
-	}
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
-var _ heap.Interface = (*eventHeap)(nil)
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not usable; construct with NewEngine. Engines are not safe for concurrent
@@ -80,7 +59,7 @@ var _ heap.Interface = (*eventHeap)(nil)
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
+	queue  pqueue.Heap[*Event]
 	fired  uint64
 	budget uint64 // max events per Run, guards against livelock
 }
@@ -98,7 +77,7 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still queued (including cancelled
 // ones not yet popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -117,7 +96,7 @@ func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
 	}
 	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.Push(ev)
 	return ev, nil
 }
 
@@ -136,15 +115,12 @@ func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
 // returns an error if the budget was exhausted (likely livelock).
 func (e *Engine) Run(until Time) error {
 	processed := uint64(0)
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > until {
+	for {
+		next, ok := e.queue.Peek()
+		if !ok || next.at > until {
 			break
 		}
-		popped, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			return errors.New("eventsim: corrupted event queue")
-		}
+		popped, _ := e.queue.Pop() // non-empty: Peek above succeeded
 		if popped.cancel {
 			continue
 		}

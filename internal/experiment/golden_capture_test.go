@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCaptureGolden dumps rendered study output at seed 2005 for manual
+// byte-identity verification. Gated by SMRP_CAPTURE_GOLDEN=<path>.
+func TestCaptureGolden(t *testing.T) {
+	path := os.Getenv("SMRP_CAPTURE_GOLDEN")
+	if path == "" {
+		t.Skip("set SMRP_CAPTURE_GOLDEN")
+	}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	out := renderStudies(t, 2005)
+	// Bench-summary-scale runs of the two acceptance figures.
+	r8, err := RunFig8(5, 5, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += r8.Render()
+	ch, err := RunChurn(5, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += ch.Render()
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+// TestSweepEnumeratorDeterministicSeed2005 pins the evaluation seed (2005)
+// across worker counts for the studies that lean hardest on the
+// absorbing-sweep candidate enumerator (fig8 joins, churn join/leave/reshape
+// cycles). It complements TestStudiesDeterministicAcrossWorkerCounts: that
+// test covers every study at seed 97, this one guards the seed the reported
+// numbers are generated with, so an enumerator change that reorders
+// candidates cannot slip into the published tables unnoticed.
+func TestSweepEnumeratorDeterministicSeed2005(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study runs")
+	}
+	const seed = 2005
+	defer SetParallelism(0)
+
+	render := func() string {
+		t.Helper()
+		f8, err := RunFig8(2, 2, seed)
+		if err != nil {
+			t.Fatalf("fig8: %v", err)
+		}
+		ch, err := RunChurn(2, seed)
+		if err != nil {
+			t.Fatalf("churn: %v", err)
+		}
+		return f8.Render() + ch.Render()
+	}
+
+	SetParallelism(1)
+	seq := render()
+	SetParallelism(8)
+	par := render()
+	if seq != par {
+		t.Fatal("seed-2005 fig8/churn output differs between workers=1 and workers=8")
+	}
+}

@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Unreachable is the distance reported for nodes that cannot be reached.
 var Unreachable = math.Inf(1)
@@ -26,58 +23,20 @@ func (t *SPTree) PathTo(n NodeID) Path {
 	if !t.Reachable(n) {
 		return nil
 	}
-	var rev []NodeID
+	ln := 0
 	for cur := n; cur != Invalid; cur = t.Parent[cur] {
-		rev = append(rev, cur)
+		ln++
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	p := make(Path, ln)
+	for cur, i := n, ln-1; cur != Invalid; cur, i = t.Parent[cur], i-1 {
+		p[i] = cur
 	}
-	return Path(rev)
+	return p
 }
-
-// pqItem is an entry in the Dijkstra priority queue.
-type pqItem struct {
-	node NodeID
-	dist float64
-}
-
-// pq is a binary min-heap of pqItems keyed by dist, with deterministic
-// tie-breaking on node ID so results are stable across runs.
-type pq []pqItem
-
-func (q pq) Len() int { return len(q) }
-
-func (q pq) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
-	}
-	return q[i].node < q[j].node
-}
-
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *pq) Push(x any) {
-	item, ok := x.(pqItem)
-	if !ok {
-		return // heap.Push is only ever called with pqItem from this package
-	}
-	*q = append(*q, item)
-}
-
-func (q *pq) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
-}
-
-var _ heap.Interface = (*pq)(nil)
 
 // Dijkstra computes the shortest-path tree from src over the graph minus the
-// mask. It uses a lazy-deletion binary heap; ties are broken on node ID, so
-// the resulting tree is deterministic.
+// mask. It runs on the pooled sweep engine (see Sweep); ties are broken on
+// node ID, so the resulting tree is deterministic.
 //
 // When an SPF cache is attached (EnableSPFCache) the result is memoized by
 // (src, mask fingerprint) and shared between callers, which also makes the
@@ -89,7 +48,9 @@ func (g *Graph) Dijkstra(src NodeID, mask *Mask) *SPTree {
 	return g.dijkstra(src, mask)
 }
 
-// dijkstra is the uncached shortest-path-tree computation.
+// dijkstra is the uncached shortest-path-tree computation: a full sweep
+// copied out into a freshly allocated SPTree (the result escapes — it may be
+// memoized and shared — so it cannot borrow pooled scratch arrays).
 func (g *Graph) dijkstra(src NodeID, mask *Mask) *SPTree {
 	n := g.NumNodes()
 	t := &SPTree{
@@ -97,54 +58,50 @@ func (g *Graph) dijkstra(src NodeID, mask *Mask) *SPTree {
 		Dist:   make([]float64, n),
 		Parent: make([]NodeID, n),
 	}
-	for i := range t.Dist {
-		t.Dist[i] = Unreachable
-		t.Parent[i] = Invalid
-	}
-	if !g.valid(src) || mask.NodeBlocked(src) {
-		return t
-	}
-	t.Dist[src] = 0
-
-	done := make([]bool, n)
-	q := pq{{node: src, dist: 0}}
-	for len(q) > 0 {
-		item, ok := heap.Pop(&q).(pqItem)
-		if !ok {
-			break
-		}
-		u := item.node
-		if done[u] || item.dist > t.Dist[u] {
-			continue // stale heap entry
-		}
-		done[u] = true
-		for _, arc := range g.adj[u] {
-			v := arc.To
-			if done[v] || mask.NodeBlocked(v) || mask.EdgeBlocked(u, v) {
-				continue
-			}
-			nd := t.Dist[u] + arc.Weight
-			// Deterministic tie-breaking on parent ID keeps shortest-path
-			// trees stable when multiple equal-length paths exist.
-			if nd < t.Dist[v] || (nd == t.Dist[v] && u < t.Parent[v]) {
-				t.Dist[v] = nd
-				t.Parent[v] = u
-				heap.Push(&q, pqItem{node: v, dist: nd})
-			}
+	s := g.NewSweep()
+	s.run(src, mask, Invalid, nil, nil)
+	for i := 0; i < n; i++ {
+		if s.seen[i] == s.epoch {
+			t.Dist[i] = s.dist[i]
+			t.Parent[i] = s.parent[i]
+		} else {
+			t.Dist[i] = Unreachable
+			t.Parent[i] = Invalid
 		}
 	}
+	s.Release()
 	return t
 }
 
 // ShortestPath returns the shortest path from src to dst avoiding the mask,
 // together with its length. It returns (nil, Unreachable) when no path
 // exists.
+//
+// With an SPF cache attached the full (src, mask) tree is computed once and
+// memoized — the cache deliberately stores only complete trees, because a
+// tree truncated at one destination would silently under-serve the next
+// caller asking the same (src, mask) about a different destination. Without
+// a cache there is nobody to share a full tree with, so the sweep exits
+// early the moment dst settles: settled nodes are never re-relaxed, hence
+// dst's distance and parent chain are already final and identical to the
+// full run's.
 func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
-	t := g.Dijkstra(src, mask)
-	if !g.valid(dst) || !t.Reachable(dst) {
+	if !g.valid(dst) {
 		return nil, Unreachable
 	}
-	return t.PathTo(dst), t.Dist[dst]
+	if g.spf != nil {
+		t := g.spf.Dijkstra(src, mask)
+		if !t.Reachable(dst) {
+			return nil, Unreachable
+		}
+		return t.PathTo(dst), t.Dist[dst]
+	}
+	s := g.NewSweep()
+	defer s.Release()
+	if s.run(src, mask, dst, nil, nil) == Invalid {
+		return nil, Unreachable
+	}
+	return s.PathTo(dst), s.dist[dst]
 }
 
 // NearestOf runs Dijkstra from src and returns the closest node for which
@@ -153,54 +110,15 @@ func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
 // when no accepted node is reachable.
 //
 // This is the primitive behind local-detour recovery: "find the nearest
-// surviving on-tree node in the residual network".
+// surviving on-tree node in the residual network". The sweep stops at the
+// first settled accepted node, and the pooled scratch arena makes the
+// steady-state call allocation-free apart from the returned path.
 func (g *Graph) NearestOf(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64) {
-	n := g.NumNodes()
-	if !g.valid(src) || mask.NodeBlocked(src) {
+	s := g.NewSweep()
+	defer s.Release()
+	got := s.run(src, mask, Invalid, nil, accept)
+	if got == Invalid {
 		return Invalid, nil, Unreachable
 	}
-	dist := make([]float64, n)
-	parent := make([]NodeID, n)
-	for i := range dist {
-		dist[i] = Unreachable
-		parent[i] = Invalid
-	}
-	dist[src] = 0
-	done := make([]bool, n)
-	q := pq{{node: src, dist: 0}}
-	for len(q) > 0 {
-		item, ok := heap.Pop(&q).(pqItem)
-		if !ok {
-			break
-		}
-		u := item.node
-		if done[u] || item.dist > dist[u] {
-			continue
-		}
-		done[u] = true
-		if accept(u) {
-			// First settled accepted node is the nearest one.
-			var rev []NodeID
-			for cur := u; cur != Invalid; cur = parent[cur] {
-				rev = append(rev, cur)
-			}
-			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-				rev[i], rev[j] = rev[j], rev[i]
-			}
-			return u, Path(rev), dist[u]
-		}
-		for _, arc := range g.adj[u] {
-			v := arc.To
-			if done[v] || mask.NodeBlocked(v) || mask.EdgeBlocked(u, v) {
-				continue
-			}
-			nd := dist[u] + arc.Weight
-			if nd < dist[v] || (nd == dist[v] && u < parent[v]) {
-				dist[v] = nd
-				parent[v] = u
-				heap.Push(&q, pqItem{node: v, dist: nd})
-			}
-		}
-	}
-	return Invalid, nil, Unreachable
+	return got, s.PathTo(got), s.dist[got]
 }

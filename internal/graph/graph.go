@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense: 0..NumNodes()-1.
@@ -87,6 +88,10 @@ type Graph struct {
 	// spf, when non-nil, memoizes Dijkstra results keyed by (source,
 	// mask fingerprint). See EnableSPFCache.
 	spf *SPFCache
+	// csr lazily caches the flat compressed-sparse-row adjacency view the
+	// sweep engine relaxes over; it is rebuilt (via the version counter)
+	// whenever the topology changes. See csrNow.
+	csr atomic.Pointer[csrView]
 }
 
 // New returns a graph with n nodes (IDs 0..n-1) and no edges. Node positions
@@ -263,6 +268,30 @@ func (m *Mask) BlockNode(n NodeID) *Mask {
 	return m
 }
 
+// BlockNodes marks every listed node as unusable and returns the mask for
+// chaining — the bulk form of BlockNode used by hot callers (reshaping blocks
+// an entire subtree per evaluation).
+func (m *Mask) BlockNodes(ids ...NodeID) *Mask {
+	for _, n := range ids {
+		m.BlockNode(n)
+	}
+	return m
+}
+
+// UnblockNode removes n from the blocked set and returns the mask for
+// chaining. Unblocking a node that is not blocked is a no-op. Because the
+// fingerprint is an XOR of per-element mixes (self-inverse), unblocking is
+// O(1) — which is what lets hot paths reuse one scratch mask with
+// block/unblock pairs instead of cloning per probe.
+func (m *Mask) UnblockNode(n NodeID) *Mask {
+	if m.nodes[n] {
+		delete(m.nodes, n)
+		m.fp ^= nodeMix(n)
+		m.count--
+	}
+	return m
+}
+
 // BlockEdge marks the undirected edge (u, v) as unusable and returns the mask
 // for chaining.
 func (m *Mask) BlockEdge(u, v NodeID) *Mask {
@@ -274,6 +303,30 @@ func (m *Mask) BlockEdge(u, v NodeID) *Mask {
 	}
 	return m
 }
+
+// UnblockEdge removes the undirected edge (u, v) from the blocked set and
+// returns the mask for chaining; a no-op when the edge is not blocked.
+// O(1), like UnblockNode.
+func (m *Mask) UnblockEdge(u, v NodeID) *Mask {
+	e := MakeEdgeID(u, v)
+	if m.edges[e] {
+		delete(m.edges, e)
+		m.fp ^= edgeMix(e)
+		m.count--
+	}
+	return m
+}
+
+// IsEmpty reports whether the mask blocks nothing. A nil mask is empty.
+func (m *Mask) IsEmpty() bool { return m == nil || m.count == 0 }
+
+// hasNodeBlocks reports whether any node is blocked (loop-hoisted fast path
+// for the sweep engine).
+func (m *Mask) hasNodeBlocks() bool { return m != nil && len(m.nodes) > 0 }
+
+// hasEdgeBlocks reports whether any edge is blocked directly (blocked
+// endpoints are covered by hasNodeBlocks).
+func (m *Mask) hasEdgeBlocks() bool { return m != nil && len(m.edges) > 0 }
 
 // NodeBlocked reports whether node n is excluded. A nil mask blocks nothing.
 func (m *Mask) NodeBlocked(n NodeID) bool {

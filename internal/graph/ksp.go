@@ -26,6 +26,15 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, mask *Mask) []WeightedPat
 	result := []WeightedPath{{Path: first, Weight: w}}
 	var candidates []WeightedPath
 
+	// One scratch mask serves every spur probe: per probe we block the root
+	// path and already-used branch edges, run the probe, then unblock exactly
+	// what we added (O(1) per element thanks to the XOR fingerprint). The
+	// previous implementation cloned the caller's mask per probe — O(|mask|)
+	// map copies inside a triply nested loop.
+	branch := mask.Clone()
+	var addedNodes []NodeID
+	var addedEdges []EdgeID
+
 	for len(result) < k {
 		prev := result[len(result)-1].Path
 		// For each node on the previous path except the last, branch off.
@@ -33,20 +42,35 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, mask *Mask) []WeightedPat
 			spurNode := prev[i]
 			rootPath := prev[:i+1]
 
-			branchMask := mask.Clone()
+			addedNodes, addedEdges = addedNodes[:0], addedEdges[:0]
 			// Remove edges used by already-found paths sharing this root.
+			// Track only elements newly blocked here so the unblock below
+			// never lifts a block owned by the caller's mask.
 			for _, rp := range result {
 				if pathHasPrefix(rp.Path, rootPath) && len(rp.Path) > i+1 {
-					branchMask.BlockEdge(rp.Path[i], rp.Path[i+1])
+					e := MakeEdgeID(rp.Path[i], rp.Path[i+1])
+					if !branch.edges[e] {
+						branch.BlockEdge(e.A, e.B)
+						addedEdges = append(addedEdges, e)
+					}
 				}
 			}
 			// Remove root-path nodes (except the spur node) to keep paths
 			// loopless.
 			for _, n := range rootPath[:len(rootPath)-1] {
-				branchMask.BlockNode(n)
+				if !branch.nodes[n] {
+					branch.BlockNode(n)
+					addedNodes = append(addedNodes, n)
+				}
 			}
 
-			spurPath, _ := g.ShortestPath(spurNode, dst, branchMask)
+			spurPath, _ := g.ShortestPath(spurNode, dst, branch)
+			for _, n := range addedNodes {
+				branch.UnblockNode(n)
+			}
+			for _, e := range addedEdges {
+				branch.UnblockEdge(e.A, e.B)
+			}
 			if spurPath == nil {
 				continue
 			}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"sync"
+
+	"smrp/internal/pqueue"
+)
+
+// heapItem is one priority-queue entry of a sweep: a node and its tentative
+// distance. Ordering is (dist, node) — the node tie-break keeps settle order,
+// and therefore every sweep result, deterministic.
+type heapItem struct {
+	node NodeID
+	dist float64
+}
+
+// Before implements pqueue.Ordered.
+func (a heapItem) Before(b heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+// csrView is a compressed-sparse-row snapshot of the graph's adjacency:
+// node u's arcs occupy to[rowStart[u]:rowStart[u+1]] (same order as
+// Graph.Neighbors(u)), with weights in wt at the same indices. The flat
+// layout keeps the Dijkstra relaxation loop on two contiguous arrays instead
+// of chasing per-node slice headers, which is measurably friendlier to the
+// cache on evaluation-scale graphs.
+//
+// A view is immutable once built; Graph.csrNow rebuilds lazily whenever the
+// graph's structural version moves.
+type csrView struct {
+	version  uint64
+	rowStart []int32
+	to       []NodeID
+	wt       []float64
+}
+
+// csrNow returns a CSR view current for the graph's structural version,
+// building one on first use. Safe for concurrent readers under the package's
+// standard contract (mutate single-threaded, then share read-only): racing
+// builders produce identical views and the atomic pointer keeps loads and
+// stores well-ordered.
+func (g *Graph) csrNow() *csrView {
+	if c := g.csr.Load(); c != nil && c.version == g.version {
+		return c
+	}
+	n := len(g.adj)
+	arcs := 0
+	for _, a := range g.adj {
+		arcs += len(a)
+	}
+	c := &csrView{
+		version:  g.version,
+		rowStart: make([]int32, n+1),
+		to:       make([]NodeID, 0, arcs),
+		wt:       make([]float64, 0, arcs),
+	}
+	for u, as := range g.adj {
+		c.rowStart[u] = int32(len(c.to))
+		for _, a := range as {
+			c.to = append(c.to, a.To)
+			c.wt = append(c.wt, a.Weight)
+		}
+	}
+	c.rowStart[n] = int32(len(c.to))
+	g.csr.Store(c)
+	return c
+}
+
+// sweepPool recycles Sweep scratch state across calls and goroutines. A
+// pooled sweep keeps its epoch-stamped arrays and heap storage, so the
+// steady-state cost of a sweep is zero heap allocations (see
+// TestSweepSteadyStateAllocs).
+var sweepPool = sync.Pool{New: func() any { return new(Sweep) }}
+
+// Sweep is a reusable single-source shortest-path computation (the
+// repository's Dijkstra core). One Sweep holds the per-run scratch arena —
+// epoch-stamped dist/parent/settled arrays plus the binary heap — so that
+// repeated runs allocate nothing once warm. Graph.Dijkstra, ShortestPath,
+// NearestOf and the candidate enumeration in internal/core all execute on
+// this engine.
+//
+// Usage:
+//
+//	sw := g.NewSweep()
+//	defer sw.Release()
+//	sw.Run(src, mask, absorbing)   // or internal run variants
+//	... sw.Reached / sw.Dist / sw.PathTo ...
+//
+// Results stay valid until the next Run or Release. A Sweep is not safe for
+// concurrent use; acquire one per goroutine (the pool makes that cheap).
+type Sweep struct {
+	g *Graph
+	n int
+	// epoch stamps validity: seen[v] == epoch means dist/parent hold values
+	// for the current run; settled[v] == epoch means v left the queue. The
+	// stamps make per-run initialization O(1) instead of O(V) clears.
+	epoch   uint32
+	seen    []uint32
+	settled []uint32
+	dist    []float64
+	parent  []NodeID
+	heap    pqueue.Heap[heapItem]
+}
+
+// NewSweep acquires a pooled sweep bound to g. Release it when done.
+func (g *Graph) NewSweep() *Sweep {
+	s := sweepPool.Get().(*Sweep)
+	s.g = g
+	return s
+}
+
+// Release returns the sweep (and its scratch arrays) to the pool. The sweep
+// must not be used afterwards.
+func (s *Sweep) Release() {
+	s.g = nil
+	sweepPool.Put(s)
+}
+
+// begin prepares the scratch arena for a fresh run: grow arrays to the
+// graph's size if needed and advance the validity epoch.
+func (s *Sweep) begin() {
+	n := s.g.NumNodes()
+	if n > len(s.seen) {
+		s.seen = make([]uint32, n)
+		s.settled = make([]uint32, n)
+		s.dist = make([]float64, n)
+		s.parent = make([]NodeID, n)
+		s.epoch = 0
+	}
+	s.n = n
+	s.epoch++
+	if s.epoch == 0 { // epoch counter wrapped: stamps are ambiguous, reset
+		clear(s.seen)
+		clear(s.settled)
+		s.epoch = 1
+	}
+	s.heap.Reset()
+}
+
+// Run executes a full deterministic Dijkstra sweep from src over the graph
+// minus the mask, with optional absorbing semantics: when absorbing is
+// non-nil, nodes for which it reports true are settled as path endpoints but
+// never relaxed through — paths may end at an absorbing node yet cannot pass
+// beyond one. This answers "shortest connection from src to every node of a
+// set, with set-interior-free paths" in a single O(E log V) pass; the SMRP
+// candidate enumeration uses it with absorbing = tree membership. src itself
+// is always relaxed outward even if absorbing(src) holds (it is the path
+// start, not an endpoint).
+//
+// Tie-breaking matches Graph.Dijkstra exactly: equal-distance heap entries
+// settle in ascending node order, and among equal-length relaxations the
+// smallest parent ID wins, so results are byte-stable across runs.
+func (s *Sweep) Run(src NodeID, mask *Mask, absorbing func(NodeID) bool) {
+	s.run(src, mask, Invalid, absorbing, nil)
+}
+
+// run is the shared sweep core. Knobs:
+//
+//   - target != Invalid: stop as soon as target settles (early exit; its
+//     dist/parent chain is final at that point because settled nodes are
+//     never re-relaxed).
+//   - absorbing != nil: absorbing nodes settle but do not relax outward.
+//   - accept != nil: stop at the first settled node for which accept holds
+//     (including src) and return it.
+//
+// It returns the settled accept/target node, or Invalid when the sweep ran
+// to exhaustion (or src was invalid/blocked).
+func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID) bool, accept func(NodeID) bool) NodeID {
+	s.begin()
+	g := s.g
+	if !g.valid(src) || mask.NodeBlocked(src) {
+		return Invalid
+	}
+	cs := g.csrNow()
+	// Hoist the mask shape checks out of the relaxation loop: most sweeps
+	// run against a nil/empty mask (plain SPF) or a node-only mask
+	// (candidate enumeration), and the map probes are the loop's only
+	// non-array memory traffic.
+	checkNodes := mask.hasNodeBlocks()
+	checkEdges := mask.hasEdgeBlocks()
+
+	s.seen[src] = s.epoch
+	s.dist[src] = 0
+	s.parent[src] = Invalid
+	s.heap.Push(heapItem{node: src, dist: 0})
+
+	for {
+		item, ok := s.heap.Pop()
+		if !ok {
+			return Invalid
+		}
+		u := item.node
+		if s.settled[u] == s.epoch || item.dist > s.dist[u] {
+			continue // stale heap entry (superseded by a better relaxation)
+		}
+		s.settled[u] = s.epoch
+		if accept != nil && accept(u) {
+			return u
+		}
+		if u == target {
+			return u
+		}
+		if absorbing != nil && u != src && absorbing(u) {
+			continue // settled as an endpoint; never relax through
+		}
+		du := s.dist[u]
+		for i, end := cs.rowStart[u], cs.rowStart[u+1]; i < end; i++ {
+			v := cs.to[i]
+			if s.settled[v] == s.epoch {
+				continue
+			}
+			if checkNodes && mask.nodes[v] {
+				continue
+			}
+			if checkEdges && mask.edges[MakeEdgeID(u, v)] {
+				continue
+			}
+			nd := du + cs.wt[i]
+			if s.seen[v] != s.epoch {
+				s.seen[v] = s.epoch
+			} else if !(nd < s.dist[v] || (nd == s.dist[v] && u < s.parent[v])) {
+				continue
+			}
+			// Deterministic tie-breaking on parent ID keeps shortest-path
+			// trees stable when multiple equal-length paths exist.
+			s.dist[v] = nd
+			s.parent[v] = u
+			s.heap.Push(heapItem{node: v, dist: nd})
+		}
+	}
+}
+
+// Reached reports whether n was reached by the last run. (For early-exit
+// runs only nodes settled before the exit are meaningful.)
+func (s *Sweep) Reached(n NodeID) bool {
+	return n >= 0 && int(n) < s.n && s.seen[n] == s.epoch
+}
+
+// Dist returns the shortest distance from the run's source to n, or
+// Unreachable when n was not reached.
+func (s *Sweep) Dist(n NodeID) float64 {
+	if !s.Reached(n) {
+		return Unreachable
+	}
+	return s.dist[n]
+}
+
+// Parent returns n's predecessor on its shortest path (Invalid at the source
+// or when unreached).
+func (s *Sweep) Parent(n NodeID) NodeID {
+	if !s.Reached(n) {
+		return Invalid
+	}
+	return s.parent[n]
+}
+
+// chainLen returns the number of nodes on the parent chain from n to the
+// source, or 0 when unreached.
+func (s *Sweep) chainLen(n NodeID) int {
+	if !s.Reached(n) {
+		return 0
+	}
+	ln := 0
+	for cur := n; cur != Invalid; cur = s.parent[cur] {
+		ln++
+	}
+	return ln
+}
+
+// PathTo returns the shortest path source→…→n, or nil when unreached.
+func (s *Sweep) PathTo(n NodeID) Path {
+	ln := s.chainLen(n)
+	if ln == 0 {
+		return nil
+	}
+	p := make(Path, ln)
+	for cur, i := n, ln-1; cur != Invalid; cur, i = s.parent[cur], i-1 {
+		p[i] = cur
+	}
+	return p
+}
+
+// PathFrom returns the shortest path in n→…→source orientation, or nil when
+// unreached. The candidate enumeration uses this to materialize
+// merger→…→joiner connections directly from a joiner-rooted sweep.
+func (s *Sweep) PathFrom(n NodeID) Path {
+	ln := s.chainLen(n)
+	if ln == 0 {
+		return nil
+	}
+	return s.AppendPathFrom(make(Path, 0, ln), n)
+}
+
+// AppendPathFrom appends the n→…→source path to buf and returns it,
+// allocating only if buf lacks capacity — the zero-allocation variant of
+// PathFrom for steady-state hot loops.
+func (s *Sweep) AppendPathFrom(buf Path, n NodeID) Path {
+	if !s.Reached(n) {
+		return buf
+	}
+	for cur := n; cur != Invalid; cur = s.parent[cur] {
+		buf = append(buf, cur)
+	}
+	return buf
+}

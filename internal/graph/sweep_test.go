@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"testing"
+)
+
+// TestSweepMatchesDijkstra cross-checks the pooled sweep against the public
+// Dijkstra tree on random graphs, including masked runs.
+func TestSweepMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedGraph(rng, 50, 120)
+		var mask *Mask
+		if trial%2 == 1 {
+			mask = NewMask().BlockNode(NodeID(rng.Intn(50)))
+		}
+		src := NodeID(rng.Intn(50))
+		tr := g.Dijkstra(src, mask)
+
+		s := g.NewSweep()
+		s.Run(src, mask, nil)
+		for v := 0; v < 50; v++ {
+			n := NodeID(v)
+			if tr.Reachable(n) != s.Reached(n) {
+				t.Fatalf("trial %d node %d: reachability mismatch", trial, v)
+			}
+			if !tr.Reachable(n) {
+				continue
+			}
+			if tr.Dist[n] != s.Dist(n) || tr.Parent[n] != s.Parent(n) {
+				t.Fatalf("trial %d node %d: (dist,parent)=(%v,%d) sweep (%v,%d)",
+					trial, v, tr.Dist[n], tr.Parent[n], s.Dist(n), s.Parent(n))
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestSweepAbsorbing checks absorbing semantics: absorbing nodes settle as
+// endpoints but never appear in the interior of any sweep path.
+func TestSweepAbsorbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(rng, 60, 150)
+	absorbing := map[NodeID]bool{5: true, 17: true, 23: true, 42: true}
+	src := NodeID(0)
+
+	s := g.NewSweep()
+	defer s.Release()
+	s.Run(src, nil, func(n NodeID) bool { return absorbing[n] })
+
+	for v := 0; v < 60; v++ {
+		p := s.PathTo(NodeID(v))
+		for i, n := range p {
+			if absorbing[n] && i != len(p)-1 && n != src {
+				t.Fatalf("absorbing node %d interior to path %v", n, p)
+			}
+		}
+	}
+
+	// Cross-check each absorbing node's distance against a masked
+	// ShortestPath that blocks the other absorbing nodes.
+	for a := range absorbing {
+		mask := NewMask()
+		for b := range absorbing {
+			if b != a {
+				mask.BlockNode(b)
+			}
+		}
+		p, d := g.ShortestPath(src, a, mask)
+		if (p == nil) != !s.Reached(a) {
+			t.Fatalf("absorbing %d: reachability mismatch", a)
+		}
+		if p != nil && d != s.Dist(a) {
+			t.Fatalf("absorbing %d: dist %v, masked SPF %v", a, s.Dist(a), d)
+		}
+	}
+}
+
+// TestShortestPathEarlyExitMatchesFullTree verifies the uncached early-exit
+// single-target path is identical to the one read off the full tree.
+func TestShortestPathEarlyExitMatchesFullTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedGraph(rng, 40, 90)
+		src := NodeID(rng.Intn(40))
+		tr := g.Dijkstra(src, nil)
+		for v := 0; v < 40; v++ {
+			dst := NodeID(v)
+			p, d := g.ShortestPath(src, dst, nil)
+			full := tr.PathTo(dst)
+			if tr.Dist[dst] != d || len(p) != len(full) {
+				t.Fatalf("trial %d %d→%d: early-exit (%v,%v) vs full (%v,%v)",
+					trial, src, dst, p, d, full, tr.Dist[dst])
+			}
+			for i := range p {
+				if p[i] != full[i] {
+					t.Fatalf("trial %d %d→%d: path %v vs %v", trial, src, dst, p, full)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSteadyStateAllocs is the allocation-regression guard from the PR 2
+// issue: once warm, a full sweep plus path extraction performs zero heap
+// allocations. GC is disabled so a collection cannot clear the sweep pool or
+// shrink the pooled arrays mid-measurement.
+func TestSweepSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedGraph(rng, 200, 600)
+	s := g.NewSweep()
+	defer s.Release()
+
+	absorbing := func(n NodeID) bool { return n%17 == 0 && n != 0 }
+	buf := make(Path, 0, 256)
+	var sink float64
+
+	// Warm everything outside the measurement: CSR view, scratch arrays,
+	// heap capacity, path buffer.
+	s.Run(0, nil, absorbing)
+	buf = s.AppendPathFrom(buf[:0], NodeID(199))
+
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Run(0, nil, absorbing)
+		buf = s.AppendPathFrom(buf[:0], NodeID(199))
+		sink += s.Dist(NodeID(199))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sweep allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkDijkstra measures the full shortest-path-tree computation (sweep +
+// copy-out) on an evaluation-scale graph.
+func BenchmarkDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomConnectedGraph(rng, 200, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dijkstra(NodeID(i%200), nil)
+	}
+}
+
+// BenchmarkSweep measures the raw pooled sweep without the SPTree copy-out —
+// the primitive under candidate enumeration and NearestOf.
+func BenchmarkSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomConnectedGraph(rng, 200, 600)
+	s := g.NewSweep()
+	defer s.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(NodeID(i%200), nil, nil)
+	}
+}
+
+// BenchmarkShortestPathEarlyExit measures the uncached single-target path,
+// which stops as soon as the destination settles.
+func BenchmarkShortestPathEarlyExit(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	g := randomConnectedGraph(rng, 200, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.ShortestPath(NodeID(i%200), NodeID((i+1)%200), nil)
+	}
+}
