@@ -29,7 +29,7 @@ func BenchmarkEnumerateCandidates(b *testing.B) {
 	g := benchGraph(b, 2005)
 	rng := topology.NewRNG(2005)
 	tr := growRandomTree(b, g, 0, 25, rng)
-	shr := ComputeSHR(tr)
+	shr := denseSHRFor(tr)
 
 	// A deterministic off-tree joiner.
 	joiner := graph.Invalid

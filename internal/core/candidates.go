@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"smrp/internal/graph"
 	"smrp/internal/multicast"
@@ -50,7 +50,7 @@ const delayEps = 1e-9
 //
 // extraMask additionally blocks nodes/edges (used by reshaping to keep the
 // member's own subtree out of the new path). The joiner must be off-tree.
-func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]int, extraMask *graph.Mask) []Candidate {
+func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr shrVals, extraMask *graph.Mask) []Candidate {
 	g := t.Graph()
 	treeNodes := t.Nodes()
 	out := make([]Candidate, 0, len(treeNodes))
@@ -77,7 +77,7 @@ func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]
 			Connection: conn,
 			ConnDelay:  d,
 			TotalDelay: treeDelay + d,
-			SHR:        shr[merger],
+			SHR:        shr.at(merger),
 		})
 	}
 	return out
@@ -89,7 +89,7 @@ func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]
 // met answers with its SHR and becomes a candidate merger. Coverage is
 // partial by design — the scheme trades optimality for not needing topology
 // knowledge. Each relayed query increments stats.QueryMessages.
-func enumerateQuery(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID]int, extraMask *graph.Mask, stats *Stats) []Candidate {
+func enumerateQuery(t *multicast.Tree, joiner graph.NodeID, shr shrVals, extraMask *graph.Mask, stats *Stats) []Candidate {
 	g := t.Graph()
 	src := t.Source()
 	best := make(map[graph.NodeID]Candidate)
@@ -135,7 +135,7 @@ func enumerateQuery(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID
 			Connection: conn,
 			ConnDelay:  cd,
 			TotalDelay: treeDelay + cd,
-			SHR:        shr[merger],
+			SHR:        shr.at(merger),
 		}
 		if prev, ok := best[merger]; !ok || cand.TotalDelay < prev.TotalDelay {
 			best[merger] = cand
@@ -145,7 +145,7 @@ func enumerateQuery(t *multicast.Tree, joiner graph.NodeID, shr map[graph.NodeID
 	for _, c := range best {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Merger < out[j].Merger })
+	slices.SortFunc(out, func(a, b Candidate) int { return int(a.Merger - b.Merger) })
 	return out
 }
 

@@ -8,6 +8,13 @@ import (
 	"smrp/internal/topology"
 )
 
+// denseSHRFor computes a fresh dense SHR table for t, the shape the
+// enumerators consume since the map-based table was retired.
+func denseSHRFor(t *multicast.Tree) shrVals {
+	vals, _ := computeSHRInto(t, nil, nil)
+	return vals
+}
+
 func TestSelectCandidateCriterion(t *testing.T) {
 	cands := []Candidate{
 		{Merger: 1, TotalDelay: 10, SHR: 3},
@@ -67,7 +74,7 @@ func TestEnumerateFullMergersAreExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	shr := ComputeSHR(tr)
-	cands := enumerateFull(tr, f4F, shr, nil)
+	cands := enumerateFull(tr, f4F, denseSHRFor(tr), nil)
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
@@ -114,7 +121,7 @@ func TestEnumerateFullRespectsExtraMask(t *testing.T) {
 	if err := tr.Graft(graph.Path{0, 1, 3, 4}, true); err != nil {
 		t.Fatal(err)
 	}
-	shr := ComputeSHR(tr)
+	shr := denseSHRFor(tr)
 	mask := graph.NewMask().BlockNode(f4D)
 	for _, c := range enumerateFull(tr, f4F, shr, mask) {
 		if c.Merger == f4D || c.Connection.ContainsNode(f4D) {
@@ -138,7 +145,7 @@ func TestEnumerateQueryCoverageSubset(t *testing.T) {
 	if err := tr.Graft(graph.Path{0, 1, 3, 4}, true); err != nil {
 		t.Fatal(err)
 	}
-	shr := ComputeSHR(tr)
+	shr := denseSHRFor(tr)
 	var st Stats
 	cands := enumerateQuery(tr, f4G, shr, nil, &st)
 	if len(cands) == 0 {

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"smrp/internal/failure"
 	"smrp/internal/graph"
@@ -57,10 +57,19 @@ func (s *Session) FlushDead(mask *graph.Mask) ([]graph.NodeID, error) {
 			deadRoots = append(deadRoots, n)
 		}
 	}
+	// Each detached subtree dirties the top-level branch it hung from:
+	// ancestors between the source and the detachment point lose N_R, so
+	// every surviving node in that branch needs its SHR repaired. The dirty
+	// top is captured *before* the detach (afterwards the root may be
+	// off-tree); when the dead root is itself a source child the whole
+	// branch disappears and no surviving SHR changes (refresh skips the
+	// then-off-tree top).
+	var dirty []graph.NodeID
 	for _, r := range deadRoots {
 		if !s.tree.OnTree(r) {
 			continue
 		}
+		dirty = append(dirty, s.tree.TopAncestor(r))
 		if err := s.tree.DetachSubtree(r); err != nil {
 			return nil, fmt.Errorf("flush dead: %w", err)
 		}
@@ -68,7 +77,7 @@ func (s *Session) FlushDead(mask *graph.Mask) ([]graph.NodeID, error) {
 	for _, m := range disconnected {
 		delete(s.lastUpSHR, m)
 	}
-	s.shr.refresh(s.tree)
+	s.shr.refresh(s.tree, dirty...)
 	return disconnected, nil
 }
 
@@ -79,7 +88,7 @@ func (s *Session) RecoverGraft(p graph.Path) error {
 	if err := s.tree.Graft(p, true); err != nil {
 		return err
 	}
-	s.shr.refresh(s.tree)
+	s.shr.refresh(s.tree, s.tree.TopAncestor(p.Last()))
 	s.recordUpSHR(p.Last())
 	return nil
 }
@@ -114,6 +123,7 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 	accept := func(n graph.NodeID) bool {
 		return s.tree.OnTree(n) && !mask.NodeBlocked(n)
 	}
+	var dirty []graph.NodeID
 	for len(remaining) > 0 {
 		bestD := math.Inf(1)
 		var bestM graph.NodeID = graph.Invalid
@@ -129,9 +139,7 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 			for m := range remaining {
 				rep.Unrecovered = append(rep.Unrecovered, m)
 			}
-			sort.Slice(rep.Unrecovered, func(i, j int) bool {
-				return rep.Unrecovered[i] < rep.Unrecovered[j]
-			})
+			slices.Sort(rep.Unrecovered)
 			break
 		}
 		delete(remaining, bestM)
@@ -139,12 +147,16 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 		if err := s.tree.Graft(bestPath.Reverse(), true); err != nil {
 			return nil, fmt.Errorf("heal: regraft %d: %w", bestM, err)
 		}
+		dirty = append(dirty, s.tree.TopAncestor(bestM))
 		rep.RecoveryDistance[bestM] = bestD
 		rep.Detours[bestM] = bestPath
 	}
 
+	// Stale relays are childless non-members (N_R = 0), so pruning them
+	// never changes a survivor's SHR — only the regrafted branches are
+	// dirty. One batched repair covers every regraft.
 	rep.Pruned = s.tree.PruneStale()
-	s.shr.refresh(s.tree)
+	s.shr.refresh(s.tree, dirty...)
 	for _, m := range s.tree.Members() {
 		if _, ok := s.lastUpSHR[m]; !ok {
 			s.recordUpSHR(m)

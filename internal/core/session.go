@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/graph"
 	"smrp/internal/multicast"
@@ -35,6 +35,11 @@ type Session struct {
 	// (SHR^old_{S,Ru} in the paper).
 	lastUpSHR map[graph.NodeID]int
 
+	// hypoVals/hypoStack are reusable buffers for the hypothetical-tree SHR
+	// computation inside reshapeMember.
+	hypoVals  shrVals
+	hypoStack []graph.NodeID
+
 	stats Stats
 }
 
@@ -54,7 +59,7 @@ func NewSession(g *graph.Graph, source graph.NodeID, cfg Config) (*Session, erro
 		lastUpSHR: make(map[graph.NodeID]int),
 	}
 	s.shr = newSHRTable(cfg.SHRMode, &s.stats)
-	s.shr.refresh(tree)
+	s.shr.init(tree)
 	return s, nil
 }
 
@@ -73,15 +78,15 @@ func (s *Session) SHR(n graph.NodeID) (int, error) {
 	if !s.tree.OnTree(n) {
 		return 0, fmt.Errorf("SHR of %d: %w", n, multicast.ErrNotOnTree)
 	}
-	return s.shr.snapshot(s.tree)[n], nil
+	return s.shr.at(s.tree, n), nil
 }
 
 // SHRSnapshot returns SHR values for all on-tree nodes.
 func (s *Session) SHRSnapshot() map[graph.NodeID]int {
-	snap := s.shr.snapshot(s.tree)
-	out := make(map[graph.NodeID]int, len(snap))
-	for n, v := range snap {
-		out[n] = v
+	vals := s.shr.dense(s.tree)
+	out := make(map[graph.NodeID]int, s.tree.NumNodes())
+	for _, n := range s.tree.Nodes() {
+		out[n] = vals.at(n)
 	}
 	return out
 }
@@ -150,7 +155,9 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 	}
 
 	s.stats.Joins++
-	s.shr.refresh(s.tree)
+	// The join perturbs N_R (and therefore SHR) only inside the member's
+	// top-level branch — repair exactly that dirty subtree.
+	s.shr.refresh(s.tree, s.tree.TopAncestor(nr))
 	s.recordUpSHR(nr)
 
 	if s.cfg.ReshapeDelta > 0 {
@@ -166,7 +173,7 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 // knowledge mode) and applies the selection criterion. extraMask lets
 // reshaping exclude the member's own subtree.
 func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask) (Candidate, bool, error) {
-	shr := s.shr.snapshot(s.tree)
+	shr := s.shr.dense(s.tree)
 	var cands []Candidate
 	switch s.cfg.Knowledge {
 	case QueryScheme:
@@ -184,12 +191,15 @@ func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMas
 
 // Leave removes member m and prunes its unused branch.
 func (s *Session) Leave(m graph.NodeID) error {
+	// The dirty subtree root must be captured before the leave: the prune
+	// may remove part (or all) of the branch.
+	top := s.tree.TopAncestor(m)
 	if err := s.tree.Leave(m); err != nil {
 		return err
 	}
 	delete(s.lastUpSHR, m)
 	s.stats.Leaves++
-	s.shr.refresh(s.tree)
+	s.shr.refresh(s.tree, top)
 	return nil
 }
 
@@ -200,7 +210,7 @@ func (s *Session) recordUpSHR(m graph.NodeID) {
 		s.lastUpSHR[m] = 0
 		return
 	}
-	s.lastUpSHR[m] = s.shr.snapshot(s.tree)[p]
+	s.lastUpSHR[m] = s.shr.at(s.tree, p)
 }
 
 // checkConditionI scans members (except the one that just joined) for
@@ -217,7 +227,7 @@ func (s *Session) checkConditionI(justJoined graph.NodeID) []graph.NodeID {
 		if !ok || p == graph.Invalid {
 			continue
 		}
-		cur := s.shr.snapshot(s.tree)[p]
+		cur := s.shr.at(s.tree, p)
 		if cur-s.lastUpSHR[m] < s.cfg.ReshapeDelta {
 			continue
 		}
@@ -234,7 +244,7 @@ func (s *Session) checkConditionI(justJoined graph.NodeID) []graph.NodeID {
 			s.recordUpSHR(m)
 		}
 	}
-	sort.Slice(reshaped, func(i, j int) bool { return reshaped[i] < reshaped[j] })
+	slices.Sort(reshaped)
 	return reshaped
 }
 
@@ -285,9 +295,10 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 	if err := hypo.RemoveSubtree(m); err != nil {
 		return false, err
 	}
-	hypoSHR := ComputeSHR(hypo)
+	s.hypoVals, s.hypoStack = computeSHRInto(hypo, s.hypoVals, s.hypoStack)
+	hypoSHR := s.hypoVals
 	if s.cfg.SHRMode == DeferredSHR {
-		s.stats.SHRComputes += len(hypoSHR)
+		s.stats.SHRComputes += hypo.NumNodes()
 	}
 
 	// New-path candidates must avoid m's own subtree (cycle prevention).
@@ -322,7 +333,7 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 		}
 		curMerger = p
 	}
-	curSHR := hypoSHR[curMerger]
+	curSHR := hypoSHR.at(curMerger)
 	curDelay, err := s.tree.DelayTo(m)
 	if err != nil {
 		return false, err
@@ -333,11 +344,13 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 	if !improves {
 		return false, nil
 	}
+	// The switch dirties both the branch m leaves and the branch it joins.
+	oldTop := s.tree.TopAncestor(m)
 	if err := s.tree.Reroute(m, best.Connection); err != nil {
 		return false, fmt.Errorf("reshape %d: %w", m, err)
 	}
 	s.stats.Reshapes++
-	s.shr.refresh(s.tree)
+	s.shr.refresh(s.tree, oldTop, s.tree.TopAncestor(m))
 	s.recordUpSHR(m)
 	return true, nil
 }

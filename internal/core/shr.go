@@ -5,6 +5,15 @@ import (
 	"smrp/internal/multicast"
 )
 
+// shrVals is a dense SHR table indexed by NodeID. Entries are meaningful
+// only for on-tree nodes; the source's entry is always 0. The dense layout
+// is what lets the hot path (candidate enumeration, Condition-I checks)
+// read SHR values with a single bounds-checked load instead of a map probe.
+type shrVals []int32
+
+// at returns SHR(S, n). n must be on the tree the table was computed for.
+func (v shrVals) at(n graph.NodeID) int { return int(v[n]) }
+
 // ComputeSHR returns SHR(S,R) for every on-tree node R of t, where
 //
 //	SHR(S,R) = Σ N_{R'}  over on-tree nodes R' on the path S→R, excluding S
@@ -15,9 +24,13 @@ import (
 // The value measures how many member paths share the links from S down to R:
 // the smaller SHR(S,R), the more attractive R is as a merger point for a new
 // member, because a failure above R disconnects fewer receivers.
+//
+// N_R values come from the tree's incrementally maintained cache, so the
+// computation is a single top-down pass with no intermediate MemberCounts
+// map. This is the exported, map-shaped convenience API; the session's hot
+// path uses the dense shrTable below instead.
 func ComputeSHR(t *multicast.Tree) map[graph.NodeID]int {
-	counts := t.MemberCounts()
-	shr := make(map[graph.NodeID]int, len(counts))
+	shr := make(map[graph.NodeID]int, t.NumNodes())
 	src := t.Source()
 	shr[src] = 0
 	// Top-down propagation along the recurrence SHR(R) = SHR(R_u) + N_R.
@@ -25,48 +38,154 @@ func ComputeSHR(t *multicast.Tree) map[graph.NodeID]int {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, k := range t.Children(n) {
-			shr[k] = shr[n] + counts[k]
+		base := shr[n]
+		for _, k := range t.ChildList(n) {
+			nr, _ := t.MemberCount(k)
+			shr[k] = base + nr
 			stack = append(stack, k)
 		}
 	}
 	return shr
 }
 
+// computeSHRInto fills vals with SHR for every on-tree node of t, reusing
+// the provided buffers (grown as needed). It returns the (possibly
+// reallocated) buffers so callers can keep them warm across calls.
+func computeSHRInto(t *multicast.Tree, vals shrVals, stack []graph.NodeID) (shrVals, []graph.NodeID) {
+	n := t.Graph().NumNodes()
+	if cap(vals) < n {
+		vals = make(shrVals, n)
+	}
+	vals = vals[:n]
+	src := t.Source()
+	vals[src] = 0
+	stack = append(stack[:0], src)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		base := vals[u]
+		for _, k := range t.ChildList(u) {
+			nr, _ := t.MemberCount(k)
+			vals[k] = base + int32(nr)
+			stack = append(stack, k)
+		}
+	}
+	return vals, stack
+}
+
 // shrTable maintains SHR values for a session under the configured mode.
 //
-// Under EagerSHR the table is refreshed tree-wide after every membership
-// change (each write is counted in Stats.SHRUpdates, modeling the update
-// messages §3.3.2 worries about). Under DeferredSHR nothing is cached:
-// values are recomputed when path selection needs them, counted in
-// Stats.SHRComputes.
+// Under EagerSHR the table is kept incrementally: after a membership change
+// at member m, only the nodes inside m's top-level branch (the subtree
+// rooted at the source's child on m's root path — the dirty subtree of
+// Eq. 2's recurrence) can change, so refresh recomputes exactly that region
+// in O(depth + |dirty subtree|) and counts the per-node writes that
+// actually changed a value in Stats.SHRUpdates. That counter now models the
+// true per-event update-message cost §3.3.2 worries about, instead of the
+// old tree-wide rewrite per mutation.
+//
+// Under DeferredSHR the table is memoized against the tree's epoch: values
+// are recomputed (and counted in Stats.SHRComputes) only when path
+// selection needs them AND the tree has mutated since the last compute.
 type shrTable struct {
-	mode   SHRMode
-	cached map[graph.NodeID]int
-	stats  *Stats
+	mode  SHRMode
+	stats *Stats
+
+	vals  shrVals
+	stack []graph.NodeID
+
+	// epoch/valid memoize the deferred-mode table against Tree.Epoch.
+	epoch uint64
+	valid bool
 }
 
 func newSHRTable(mode SHRMode, stats *Stats) *shrTable {
 	return &shrTable{mode: mode, stats: stats}
 }
 
-// refresh must be called after every tree mutation; it is a no-op under
-// deferred maintenance.
-func (s *shrTable) refresh(t *multicast.Tree) {
+// init installs the table for a fresh session tree. The empty tree carries
+// only the source (SHR(S,S) = 0, a constant that needs no update message),
+// so nothing is counted.
+func (s *shrTable) init(t *multicast.Tree) {
 	if s.mode != EagerSHR {
 		return
 	}
-	s.cached = ComputeSHR(t)
-	s.stats.SHRUpdates += len(s.cached)
+	s.vals, s.stack = computeSHRInto(t, s.vals, s.stack)
 }
 
-// snapshot returns current SHR values for all on-tree nodes, computing them
-// on demand under deferred maintenance.
-func (s *shrTable) snapshot(t *multicast.Tree) map[graph.NodeID]int {
-	if s.mode == EagerSHR {
-		return s.cached
+// refresh repairs the table after a tree mutation whose dirty subtrees are
+// rooted at the given nodes (typically Tree.TopAncestor of the mutated
+// member; Invalid and off-tree roots are skipped, as is the source, whose
+// SHR is constant). It is a no-op under deferred maintenance, where the
+// epoch memo invalidates lazily.
+func (s *shrTable) refresh(t *multicast.Tree, dirtyRoots ...graph.NodeID) {
+	if s.mode != EagerSHR {
+		return
 	}
-	m := ComputeSHR(t)
-	s.stats.SHRComputes += len(m)
-	return m
+	n := t.Graph().NumNodes()
+	if cap(s.vals) < n {
+		// The graph grew since init: fall back to a full rebuild.
+		s.vals, s.stack = computeSHRInto(t, s.vals, s.stack)
+		return
+	}
+	s.vals = s.vals[:n]
+	s.vals[t.Source()] = 0
+	writes := 0
+	for i, root := range dirtyRoots {
+		if root == graph.Invalid || root == t.Source() || !t.OnTree(root) {
+			continue
+		}
+		if contains(dirtyRoots[:i], root) {
+			continue // deduplicate repeated roots
+		}
+		// Top-down repair of the dirty subtree: parents are finalized
+		// before their children are pushed, so vals[parent] is always
+		// current when a node is visited.
+		s.stack = append(s.stack[:0], root)
+		for len(s.stack) > 0 {
+			u := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			p, _ := t.Parent(u)
+			nr, _ := t.MemberCount(u)
+			want := s.vals[p] + int32(nr)
+			if s.vals[u] != want {
+				s.vals[u] = want
+				writes++
+			}
+			s.stack = append(s.stack, t.ChildList(u)...)
+		}
+	}
+	s.stats.SHRUpdates += writes
+}
+
+// dense returns the current dense SHR table for t, recomputing it under
+// deferred maintenance when the tree has mutated since the last compute.
+func (s *shrTable) dense(t *multicast.Tree) shrVals {
+	if s.mode == EagerSHR {
+		return s.vals
+	}
+	if !s.valid || s.epoch != t.Epoch() {
+		s.vals, s.stack = computeSHRInto(t, s.vals, s.stack)
+		s.stats.SHRComputes += t.NumNodes()
+		s.epoch = t.Epoch()
+		s.valid = true
+	}
+	return s.vals
+}
+
+// at returns SHR(S, n) for on-tree node n under the configured maintenance
+// mode.
+func (s *shrTable) at(t *multicast.Tree, n graph.NodeID) int {
+	return s.dense(t).at(n)
+}
+
+// contains reports whether roots holds r (tiny linear scan; dirty-root
+// lists have at most a handful of entries).
+func contains(roots []graph.NodeID, r graph.NodeID) bool {
+	for _, x := range roots {
+		if x == r {
+			return true
+		}
+	}
+	return false
 }

@@ -15,7 +15,7 @@ package failure
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/graph"
 	"smrp/internal/multicast"
@@ -147,7 +147,7 @@ func DisconnectedMembers(t *multicast.Tree, mask *graph.Mask) []graph.NodeID {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -18,7 +18,7 @@ package faultisolation
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/graph"
 	"smrp/internal/multicast"
@@ -145,14 +145,14 @@ func Isolate(t *multicast.Tree, obs Observation) ([]Suspect, error) {
 		// some live member — impossible for pure downstream-cut failures.
 		return nil, fmt.Errorf("%w: dark members without a dark subtree", ErrInconsistent)
 	}
-	sort.Slice(suspects, func(i, j int) bool {
-		if suspects[i].DarkMembers != suspects[j].DarkMembers {
-			return suspects[i].DarkMembers > suspects[j].DarkMembers
+	slices.SortFunc(suspects, func(a, b Suspect) int {
+		if a.DarkMembers != b.DarkMembers {
+			return b.DarkMembers - a.DarkMembers
 		}
-		if suspects[i].Edge.A != suspects[j].Edge.A {
-			return suspects[i].Edge.A < suspects[j].Edge.A
+		if a.Edge.A != b.Edge.A {
+			return int(a.Edge.A - b.Edge.A)
 		}
-		return suspects[i].Edge.B < suspects[j].Edge.B
+		return int(a.Edge.B - b.Edge.B)
 	})
 	return suspects, nil
 }

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Bridges returns the bridge edges (cut edges) of g minus the mask, in
 // canonical order, using Tarjan's low-point algorithm. An edge is a bridge
@@ -66,12 +66,7 @@ func (g *Graph) Bridges(mask *Mask) []EdgeID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	slices.SortFunc(out, edgeIDCompare)
 	return out
 }
 

@@ -11,7 +11,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 )
 
@@ -200,13 +200,17 @@ func (g *Graph) Edges() []EdgeID {
 	for id := range g.weights {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	slices.SortFunc(out, edgeIDCompare)
 	return out
+}
+
+// edgeIDCompare orders EdgeIDs by (A, B); shared by the package's sorted
+// edge listings.
+func edgeIDCompare(a, b EdgeID) int {
+	if a.A != b.A {
+		return int(a.A - b.A)
+	}
+	return int(a.B - b.B)
 }
 
 // Clone returns a deep copy of the graph.

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // WeightedPath pairs a path with its total weight.
 type WeightedPath struct {
@@ -89,11 +89,18 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, mask *Mask) []WeightedPat
 		if len(candidates) == 0 {
 			break
 		}
-		sort.Slice(candidates, func(i, j int) bool {
-			if candidates[i].Weight != candidates[j].Weight {
-				return candidates[i].Weight < candidates[j].Weight
+		slices.SortFunc(candidates, func(a, b WeightedPath) int {
+			switch {
+			case a.Weight < b.Weight:
+				return -1
+			case a.Weight > b.Weight:
+				return 1
+			case pathLess(a.Path, b.Path):
+				return -1
+			case pathLess(b.Path, a.Path):
+				return 1
 			}
-			return pathLess(candidates[i].Path, candidates[j].Path)
+			return 0
 		})
 		result = append(result, candidates[0])
 		candidates = candidates[1:]

@@ -15,7 +15,7 @@ package hierarchy
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/core"
 	"smrp/internal/failure"
@@ -232,7 +232,7 @@ func (s *Session) Members() []graph.NodeID {
 	for m := range s.members {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -243,7 +243,7 @@ func (s *Session) DomainSessions() []int {
 	for id := range s.stubs {
 		out = append(out, id)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -3,7 +3,7 @@ package hierarchy
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/core"
 	"smrp/internal/failure"
@@ -177,7 +177,7 @@ func (s *NLevelSession) Members() []graph.NodeID {
 	for m := range s.members {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

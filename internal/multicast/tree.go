@@ -7,12 +7,20 @@
 // Terminology follows the paper: the tree is rooted at the multicast source
 // S; "members" are receivers (which may be interior nodes); N_R is the
 // number of members in the subtree rooted at R.
+//
+// Storage is dense: graph.NodeID is already a compact integer in
+// 0..NumNodes()-1, so tree state lives in slice-indexed arrays (parent
+// vector, per-node children lists kept in ascending order, member and
+// on-tree bitsets, and a cached N_R column maintained incrementally along
+// the O(depth) root path of every mutation). This removes the map hashing,
+// per-accessor sorting, and per-mutation O(|tree|) recounting the original
+// map-backed representation paid on the join/leave/heal hot path.
 package multicast
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/graph"
 )
@@ -33,11 +41,29 @@ var (
 //
 // Tree is not safe for concurrent mutation.
 type Tree struct {
-	g        *graph.Graph
-	source   graph.NodeID
-	parent   map[graph.NodeID]graph.NodeID
-	children map[graph.NodeID][]graph.NodeID
-	members  map[graph.NodeID]bool
+	g      *graph.Graph
+	source graph.NodeID
+
+	// Dense slice-indexed state. parent and nr are meaningful only for
+	// nodes whose onTree bit is set; children lists are kept in ascending
+	// order (insertion-ordered sort) so accessors never re-sort, and keep
+	// their backing capacity when a node leaves so warm churn does not
+	// allocate.
+	parent   []graph.NodeID
+	children [][]graph.NodeID
+	onTree   bitset
+	members  bitset
+	// nr caches N_R — the number of members in the subtree rooted at each
+	// on-tree node — maintained incrementally: every membership or
+	// attachment change walks the O(depth) root path applying ±δ instead
+	// of recounting the tree.
+	nr []int32
+
+	nNodes   int
+	nMembers int
+	// epoch counts successful mutations; readers (e.g. the SHR table in
+	// internal/core) use it to skip re-reads when the tree is unchanged.
+	epoch uint64
 }
 
 // New returns an empty tree on g rooted at source. The source is on the
@@ -46,13 +72,39 @@ func New(g *graph.Graph, source graph.NodeID) (*Tree, error) {
 	if source < 0 || int(source) >= g.NumNodes() {
 		return nil, fmt.Errorf("multicast: source %d not in graph", source)
 	}
-	return &Tree{
+	n := g.NumNodes()
+	t := &Tree{
 		g:        g,
 		source:   source,
-		parent:   map[graph.NodeID]graph.NodeID{source: graph.Invalid},
-		children: make(map[graph.NodeID][]graph.NodeID),
-		members:  make(map[graph.NodeID]bool),
-	}, nil
+		parent:   make([]graph.NodeID, n),
+		children: make([][]graph.NodeID, n),
+		onTree:   newBitset(n),
+		members:  newBitset(n),
+		nr:       make([]int32, n),
+	}
+	t.parent[source] = graph.Invalid
+	t.onTree.set(source)
+	t.nNodes = 1
+	return t, nil
+}
+
+// ensure grows the dense arrays to cover node id n (the graph may have
+// gained nodes after the tree was created).
+func (t *Tree) ensure(n graph.NodeID) {
+	if int(n) < len(t.parent) {
+		return
+	}
+	want := int(n) + 1
+	if g := t.g.NumNodes(); g > want {
+		want = g
+	}
+	for len(t.parent) < want {
+		t.parent = append(t.parent, graph.Invalid)
+		t.children = append(t.children, nil)
+		t.nr = append(t.nr, 0)
+	}
+	t.onTree = t.onTree.grown(want)
+	t.members = t.members.grown(want)
 }
 
 // Graph returns the underlying network graph.
@@ -61,82 +113,95 @@ func (t *Tree) Graph() *graph.Graph { return t.g }
 // Source returns the tree's root.
 func (t *Tree) Source() graph.NodeID { return t.source }
 
+// Epoch returns a counter that increases on every successful mutation.
+// Callers can compare epochs to skip re-reading tree state that has not
+// changed (e.g. memoized SHR tables).
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
 // OnTree reports whether n currently has tree state.
-func (t *Tree) OnTree(n graph.NodeID) bool {
-	_, ok := t.parent[n]
-	return ok
-}
+func (t *Tree) OnTree(n graph.NodeID) bool { return t.onTree.has(n) }
 
 // IsMember reports whether n is a receiver of the session.
-func (t *Tree) IsMember(n graph.NodeID) bool { return t.members[n] }
+func (t *Tree) IsMember(n graph.NodeID) bool { return t.members.has(n) }
 
 // Parent returns the upstream node of n (Invalid for the source) and whether
 // n is on the tree.
 func (t *Tree) Parent(n graph.NodeID) (graph.NodeID, bool) {
-	p, ok := t.parent[n]
-	return p, ok
+	if !t.onTree.has(n) {
+		return graph.Invalid, false
+	}
+	return t.parent[n], true
 }
 
 // Children returns a copy of n's downstream neighbors, in ascending order.
 func (t *Tree) Children(n graph.NodeID) []graph.NodeID {
-	kids := t.children[n]
+	var kids []graph.NodeID
+	if n >= 0 && int(n) < len(t.children) {
+		kids = t.children[n]
+	}
 	out := make([]graph.NodeID, len(kids))
 	copy(out, kids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ChildList returns n's downstream neighbors in ascending order WITHOUT
+// copying. The returned slice aliases tree state: callers must not mutate
+// it and must not hold it across tree mutations. Hot read paths (SHR
+// propagation, surviving-node walks, delivery simulation) use this to
+// iterate allocation-free; everything else should prefer Children.
+func (t *Tree) ChildList(n graph.NodeID) []graph.NodeID {
+	if n < 0 || int(n) >= len(t.children) {
+		return nil
+	}
+	return t.children[n]
 }
 
 // Members returns the current receivers in ascending order.
 func (t *Tree) Members() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(t.members))
-	for m := range t.members {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.members.appendIDs(make([]graph.NodeID, 0, t.nMembers))
 }
 
 // NumMembers returns the number of receivers.
-func (t *Tree) NumMembers() int { return len(t.members) }
+func (t *Tree) NumMembers() int { return t.nMembers }
 
 // Nodes returns all on-tree nodes in ascending order (the source is always
 // included).
 func (t *Tree) Nodes() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(t.parent))
-	for n := range t.parent {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.onTree.appendIDs(make([]graph.NodeID, 0, t.nNodes))
 }
 
 // NumNodes returns the number of on-tree nodes.
-func (t *Tree) NumNodes() int { return len(t.parent) }
+func (t *Tree) NumNodes() int { return t.nNodes }
 
 // Edges returns the tree's edges as canonical EdgeIDs in deterministic
 // order.
 func (t *Tree) Edges() []graph.EdgeID {
-	out := make([]graph.EdgeID, 0, len(t.parent)-1)
-	for n, p := range t.parent {
-		if p != graph.Invalid {
-			out = append(out, graph.MakeEdgeID(n, p))
+	out := make([]graph.EdgeID, 0, t.nNodes-1)
+	for wi, w := range t.onTree {
+		base := graph.NodeID(wi << 6)
+		for w != 0 {
+			n := base + graph.NodeID(trailingZeros(w))
+			w &= w - 1
+			if p := t.parent[n]; p != graph.Invalid {
+				out = append(out, graph.MakeEdgeID(n, p))
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	slices.SortFunc(out, func(a, b graph.EdgeID) int {
+		if a.A != b.A {
+			return int(a.A) - int(b.A)
 		}
-		return out[i].B < out[j].B
+		return int(a.B) - int(b.B)
 	})
 	return out
 }
 
 // UsesEdge reports whether the tree traverses the undirected edge e.
 func (t *Tree) UsesEdge(e graph.EdgeID) bool {
-	if p, ok := t.parent[e.A]; ok && p == e.B {
+	if t.onTree.has(e.A) && t.parent[e.A] == e.B {
 		return true
 	}
-	if p, ok := t.parent[e.B]; ok && p == e.A {
+	if t.onTree.has(e.B) && t.parent[e.B] == e.A {
 		return true
 	}
 	return false
@@ -157,6 +222,21 @@ func (t *Tree) PathToSource(n graph.NodeID) (graph.Path, error) {
 	return p, nil
 }
 
+// TopAncestor returns the child of the source on n's root path — the root
+// of the top-level branch containing n — or Invalid when n is the source or
+// off the tree. Incremental SHR maintenance uses this as the dirty-subtree
+// root: a membership change at n can only perturb SHR values inside n's
+// top-level branch.
+func (t *Tree) TopAncestor(n graph.NodeID) graph.NodeID {
+	if !t.OnTree(n) || n == t.source {
+		return graph.Invalid
+	}
+	for t.parent[n] != t.source {
+		n = t.parent[n]
+	}
+	return n
+}
+
 // DelayTo returns the total weight of the on-tree path from the source to n
 // (the end-to-end delay D_{S,R} of the paper).
 func (t *Tree) DelayTo(n graph.NodeID) (float64, error) {
@@ -170,15 +250,21 @@ func (t *Tree) DelayTo(n graph.NodeID) (float64, error) {
 // Cost returns the sum of all tree-edge weights (the paper's Cost_T).
 func (t *Tree) Cost() (float64, error) {
 	var total float64
-	for n, p := range t.parent {
-		if p == graph.Invalid {
-			continue
+	for wi, w := range t.onTree {
+		base := graph.NodeID(wi << 6)
+		for w != 0 {
+			n := base + graph.NodeID(trailingZeros(w))
+			w &= w - 1
+			p := t.parent[n]
+			if p == graph.Invalid {
+				continue
+			}
+			ew, ok := t.g.EdgeWeight(n, p)
+			if !ok {
+				return 0, fmt.Errorf("tree cost: %d-%d is not a graph edge", n, p)
+			}
+			total += ew
 		}
-		w, ok := t.g.EdgeWeight(n, p)
-		if !ok {
-			return 0, fmt.Errorf("tree cost: %d-%d is not a graph edge", n, p)
-		}
-		total += w
 	}
 	return total, nil
 }
@@ -206,37 +292,87 @@ func (t *Tree) Graft(p graph.Path, markMember bool) error {
 	if !p.IsSimple() {
 		return errors.New("multicast: graft path is not simple")
 	}
+	changed := len(p) > 1
 	for i := 1; i < len(p); i++ {
 		t.attach(p[i], p[i-1])
 	}
-	if markMember {
-		t.members[p.Last()] = true
+	if markMember && !t.members.has(p.Last()) {
+		t.members.set(p.Last())
+		t.nMembers++
+		t.bumpNR(p.Last(), 1)
+		changed = true
+	}
+	if changed {
+		t.epoch++
 	}
 	return nil
 }
 
-// attach links child under par (both assumed consistent with caller checks).
-func (t *Tree) attach(child, par graph.NodeID) {
-	t.parent[child] = par
-	t.children[par] = append(t.children[par], child)
+// bumpNR applies δ to the cached N_R of every node on the root path
+// starting at from (inclusive) — the O(depth) incremental maintenance of
+// Eq. 2's N_R terms.
+func (t *Tree) bumpNR(from graph.NodeID, delta int32) {
+	for cur := from; cur != graph.Invalid; cur = t.parent[cur] {
+		t.nr[cur] += delta
+	}
 }
 
-// detach unlinks child from its parent without pruning.
+// attach links the off-tree node child under on-tree node par, inserting it
+// into par's ascending children list.
+func (t *Tree) attach(child, par graph.NodeID) {
+	t.ensure(child)
+	t.parent[child] = par
+	t.insertChild(par, child)
+	t.onTree.set(child)
+	t.nr[child] = 0
+	t.nNodes++
+}
+
+// link re-parents the already-on-tree node child under par (Reroute's move
+// of an existing subtree root) without touching node counts.
+func (t *Tree) link(child, par graph.NodeID) {
+	t.parent[child] = par
+	t.insertChild(par, child)
+}
+
+// insertChild inserts child into par's children list keeping ascending
+// order; amortized O(len) with no allocation once capacity is warm.
+func (t *Tree) insertChild(par, child graph.NodeID) {
+	kids := t.children[par]
+	i := len(kids)
+	for i > 0 && kids[i-1] > child {
+		i--
+	}
+	kids = append(kids, 0)
+	copy(kids[i+1:], kids[i:])
+	kids[i] = child
+	t.children[par] = kids
+}
+
+// removeChild deletes child from par's children list, keeping order and
+// backing capacity.
+func (t *Tree) removeChild(par, child graph.NodeID) {
+	kids := t.children[par]
+	for i, k := range kids {
+		if k == child {
+			copy(kids[i:], kids[i+1:])
+			t.children[par] = kids[:len(kids)-1]
+			return
+		}
+	}
+}
+
+// detach unlinks child from its parent and drops it from the tree without
+// pruning. The child's children list keeps its capacity for reuse.
 func (t *Tree) detach(child graph.NodeID) {
 	par := t.parent[child]
 	if par != graph.Invalid {
-		kids := t.children[par]
-		for i, k := range kids {
-			if k == child {
-				t.children[par] = append(kids[:i], kids[i+1:]...)
-				break
-			}
-		}
-		if len(t.children[par]) == 0 {
-			delete(t.children, par)
-		}
+		t.removeChild(par, child)
 	}
-	delete(t.parent, child)
+	t.onTree.clear(child)
+	t.parent[child] = graph.Invalid
+	t.nr[child] = 0
+	t.nNodes--
 }
 
 // Leave removes member m from the session and prunes the now-unneeded chain
@@ -244,18 +380,23 @@ func (t *Tree) detach(child graph.NodeID) {
 // state is cleared hop by hop until a node with remaining downstream members
 // (or the source, or another member) is reached.
 func (t *Tree) Leave(m graph.NodeID) error {
-	if !t.members[m] {
+	if !t.members.has(m) {
 		return fmt.Errorf("leave %d: %w", m, ErrNotMember)
 	}
-	delete(t.members, m)
+	t.members.clear(m)
+	t.nMembers--
+	t.bumpNR(m, -1)
 	t.pruneUpward(m)
+	t.epoch++
 	return nil
 }
 
 // pruneUpward removes n and its ancestors while they are leaf relays
-// (no children, not a member, not the source).
+// (no children, not a member, not the source). Pruned nodes carry N_R = 0,
+// so removal never perturbs ancestor counts.
 func (t *Tree) pruneUpward(n graph.NodeID) {
-	for n != graph.Invalid && n != t.source && len(t.children[n]) == 0 && !t.members[n] {
+	for n != graph.Invalid && n != t.source && t.onTree.has(n) &&
+		len(t.children[n]) == 0 && !t.members.has(n) {
 		par := t.parent[n]
 		t.detach(n)
 		n = par
@@ -276,52 +417,32 @@ func (t *Tree) SubtreeNodes(r graph.NodeID) ([]graph.NodeID, error) {
 		out = append(out, n)
 		stack = append(stack, t.children[n]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
-// MemberCount returns N_R, the number of members in the subtree rooted at r.
+// MemberCount returns N_R, the number of members in the subtree rooted at
+// r. The count is served from the incrementally maintained per-node cache
+// in O(1), where the map-backed tree re-walked (and re-sorted) the subtree.
 func (t *Tree) MemberCount(r graph.NodeID) (int, error) {
-	nodes, err := t.SubtreeNodes(r)
-	if err != nil {
-		return 0, err
+	if !t.OnTree(r) {
+		return 0, fmt.Errorf("subtree of %d: %w", r, ErrNotOnTree)
 	}
-	count := 0
-	for _, n := range nodes {
-		if t.members[n] {
-			count++
-		}
-	}
-	return count, nil
+	return int(t.nr[r]), nil
 }
 
-// MemberCounts returns N_R for every on-tree node in a single bottom-up
-// pass; the map is keyed by node ID.
+// MemberCounts returns N_R for every on-tree node, keyed by node ID. The
+// values come straight from the incrementally maintained cache; the map is
+// built only for the caller's convenience (hot paths should use MemberCount
+// per node instead).
 func (t *Tree) MemberCounts() map[graph.NodeID]int {
-	counts := make(map[graph.NodeID]int, len(t.parent))
-	// Post-order accumulate: iterative DFS with an explicit visit stack.
-	type frame struct {
-		node    graph.NodeID
-		visited bool
-	}
-	stack := []frame{{node: t.source}}
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if f.visited {
-			c := 0
-			if t.members[f.node] {
-				c = 1
-			}
-			for _, k := range t.children[f.node] {
-				c += counts[k]
-			}
-			counts[f.node] = c
-			continue
-		}
-		stack = append(stack, frame{node: f.node, visited: true})
-		for _, k := range t.children[f.node] {
-			stack = append(stack, frame{node: k})
+	counts := make(map[graph.NodeID]int, t.nNodes)
+	for wi, w := range t.onTree {
+		base := graph.NodeID(wi << 6)
+		for w != 0 {
+			n := base + graph.NodeID(trailingZeros(w))
+			w &= w - 1
+			counts[n] = int(t.nr[n])
 		}
 	}
 	return counts
@@ -353,16 +474,12 @@ func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
 	if !t.OnTree(merger) {
 		return fmt.Errorf("reroute merger %d: %w", merger, ErrNotOnTree)
 	}
-	sub, err := t.SubtreeNodes(m)
-	if err != nil {
-		return err
-	}
-	inSub := make(map[graph.NodeID]bool, len(sub))
-	for _, n := range sub {
-		inSub[n] = true
-	}
-	if inSub[merger] {
-		return fmt.Errorf("reroute: merger %d is inside %d's subtree", merger, m)
+	// The merger lies inside m's subtree exactly when m is an ancestor of
+	// it — an O(depth) root-path walk instead of materializing the subtree.
+	for cur := merger; cur != graph.Invalid; cur = t.parent[cur] {
+		if cur == m {
+			return fmt.Errorf("reroute: merger %d is inside %d's subtree", merger, m)
+		}
 	}
 	for _, n := range newPath[1 : len(newPath)-1] {
 		if t.OnTree(n) {
@@ -370,16 +487,25 @@ func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
 		}
 	}
 	oldParent := t.parent[m]
-	t.detach(m)
+	sub := t.nr[m] // members moving with m's subtree
+	if oldParent != graph.Invalid {
+		t.removeChild(oldParent, m)
+		t.parent[m] = graph.Invalid
+		t.bumpNR(oldParent, -sub)
+	}
 	// Attach the new chain from the merger down to m.
 	for i := 1; i < len(newPath); i++ {
 		if newPath[i] == m {
-			t.attach(m, newPath[i-1])
+			t.link(m, newPath[i-1])
 		} else {
 			t.attach(newPath[i], newPath[i-1])
 		}
 	}
+	// The moved members now count along the new root path (the fresh chain
+	// nodes were attached with N_R = 0 and pick up the subtree here).
+	t.bumpNR(t.parent[m], sub)
 	t.pruneUpward(oldParent)
+	t.epoch++
 	return nil
 }
 
@@ -395,18 +521,10 @@ func (t *Tree) RemoveSubtree(r graph.NodeID) error {
 	if r == t.source {
 		return errors.New("multicast: cannot remove the source's subtree")
 	}
-	sub, err := t.SubtreeNodes(r)
-	if err != nil {
-		return err
-	}
 	oldParent := t.parent[r]
-	t.detach(r)
-	for _, n := range sub {
-		delete(t.parent, n)
-		delete(t.children, n)
-		delete(t.members, n)
-	}
+	t.dropSubtree(r)
 	t.pruneUpward(oldParent)
+	t.epoch++
 	return nil
 }
 
@@ -422,17 +540,35 @@ func (t *Tree) DetachSubtree(r graph.NodeID) error {
 	if r == t.source {
 		return errors.New("multicast: cannot detach the source's subtree")
 	}
-	sub, err := t.SubtreeNodes(r)
-	if err != nil {
-		return err
-	}
-	t.detach(r)
-	for _, n := range sub {
-		delete(t.parent, n)
-		delete(t.children, n)
-		delete(t.members, n)
-	}
+	t.dropSubtree(r)
+	t.epoch++
 	return nil
+}
+
+// dropSubtree unlinks r from its parent, deducts the subtree's member count
+// from the surviving root path, and clears all state below r.
+func (t *Tree) dropSubtree(r graph.NodeID) {
+	oldParent := t.parent[r]
+	sub := t.nr[r]
+	if oldParent != graph.Invalid {
+		t.removeChild(oldParent, r)
+		t.bumpNR(oldParent, -sub)
+	}
+	stack := []graph.NodeID{r}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stack = append(stack, t.children[n]...)
+		t.children[n] = t.children[n][:0]
+		t.onTree.clear(n)
+		t.parent[n] = graph.Invalid
+		t.nr[n] = 0
+		t.nNodes--
+		if t.members.has(n) {
+			t.members.clear(n)
+			t.nMembers--
+		}
+	}
 }
 
 // PruneStale removes every relay chain that serves no member (childless,
@@ -440,15 +576,24 @@ func (t *Tree) DetachSubtree(r graph.NodeID) error {
 // expiry of branches left behind by recovery. It returns the nodes removed.
 func (t *Tree) PruneStale() []graph.NodeID {
 	var removed []graph.NodeID
+	var victims []graph.NodeID
 	for {
-		var victims []graph.NodeID
-		for n := range t.parent {
-			if n != t.source && len(t.children[n]) == 0 && !t.members[n] {
-				victims = append(victims, n)
+		victims = victims[:0]
+		for wi, w := range t.onTree {
+			base := graph.NodeID(wi << 6)
+			for w != 0 {
+				n := base + graph.NodeID(trailingZeros(w))
+				w &= w - 1
+				if n != t.source && len(t.children[n]) == 0 && !t.members.has(n) {
+					victims = append(victims, n)
+				}
 			}
 		}
 		if len(victims) == 0 {
-			sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+			if len(removed) > 0 {
+				t.epoch++
+			}
+			slices.Sort(removed)
 			return removed
 		}
 		for _, n := range victims {
@@ -463,37 +608,42 @@ func (t *Tree) Clone() *Tree {
 	c := &Tree{
 		g:        t.g,
 		source:   t.source,
-		parent:   make(map[graph.NodeID]graph.NodeID, len(t.parent)),
-		children: make(map[graph.NodeID][]graph.NodeID, len(t.children)),
-		members:  make(map[graph.NodeID]bool, len(t.members)),
-	}
-	for n, p := range t.parent {
-		c.parent[n] = p
+		parent:   slices.Clone(t.parent),
+		children: make([][]graph.NodeID, len(t.children)),
+		onTree:   t.onTree.clone(),
+		members:  t.members.clone(),
+		nr:       slices.Clone(t.nr),
+		nNodes:   t.nNodes,
+		nMembers: t.nMembers,
+		epoch:    t.epoch,
 	}
 	for n, kids := range t.children {
-		cp := make([]graph.NodeID, len(kids))
-		copy(cp, kids)
-		c.children[n] = cp
-	}
-	for m := range t.members {
-		c.members[m] = true
+		if len(kids) > 0 {
+			c.children[n] = slices.Clone(kids)
+		}
 	}
 	return c
 }
 
 // Validate checks the tree's structural invariants: every non-source node
-// has a parent reachable from the source, parent/children maps agree, every
-// tree edge exists in the graph, and members are on the tree. It returns the
-// first violation found.
+// has a parent reachable from the source, parent/children lists agree, every
+// tree edge exists in the graph, members are on the tree, and the cached
+// N_R column matches a from-scratch recount. It returns the first violation
+// found.
 func (t *Tree) Validate() error {
-	if _, ok := t.parent[t.source]; !ok {
+	if !t.onTree.has(t.source) {
 		return errors.New("multicast: source missing from tree")
 	}
 	if t.parent[t.source] != graph.Invalid {
 		return errors.New("multicast: source has a parent")
 	}
 	// children↔parent agreement and edge existence.
-	for n, p := range t.parent {
+	nodes := t.Nodes()
+	if len(nodes) != t.nNodes {
+		return fmt.Errorf("multicast: node count %d does not match on-tree set %d", t.nNodes, len(nodes))
+	}
+	for _, n := range nodes {
+		p := t.parent[n]
 		if p == graph.Invalid {
 			if n != t.source {
 				return fmt.Errorf("multicast: node %d has no parent but is not the source", n)
@@ -503,44 +653,65 @@ func (t *Tree) Validate() error {
 		if !t.g.HasEdge(n, p) {
 			return fmt.Errorf("multicast: tree link %d-%d is not a graph edge", n, p)
 		}
-		found := false
-		for _, k := range t.children[p] {
-			if k == n {
-				found = true
-				break
-			}
+		if !t.onTree.has(p) {
+			return fmt.Errorf("multicast: parent %d of %d is off the tree", p, n)
 		}
-		if !found {
+		if !slices.Contains(t.children[p], n) {
 			return fmt.Errorf("multicast: %d not recorded as child of %d", n, p)
 		}
 	}
-	for p, kids := range t.children {
-		for _, k := range kids {
-			if t.parent[k] != p {
+	for _, p := range nodes {
+		if !slices.IsSorted(t.children[p]) {
+			return fmt.Errorf("multicast: children of %d not in ascending order", p)
+		}
+		for _, k := range t.children[p] {
+			if !t.onTree.has(k) || t.parent[k] != p {
 				return fmt.Errorf("multicast: child %d of %d has parent %v", k, p, t.parent[k])
 			}
 		}
 	}
-	// Reachability (no cycles, no orphan islands).
+	// Reachability (no cycles, no orphan islands) plus a from-scratch N_R
+	// recount checked against the incremental cache.
 	reached := 0
+	members := 0
 	stack := []graph.NodeID{t.source}
-	seen := map[graph.NodeID]bool{t.source: true}
+	seen := newBitset(len(t.parent))
+	seen.set(t.source)
+	counts := make([]int32, len(t.parent))
+	order := make([]graph.NodeID, 0, t.nNodes)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		reached++
+		order = append(order, n)
+		if t.members.has(n) {
+			counts[n] = 1
+			members++
+		}
 		for _, k := range t.children[n] {
-			if seen[k] {
+			if seen.has(k) {
 				return fmt.Errorf("multicast: node %d reached twice (cycle)", k)
 			}
-			seen[k] = true
+			seen.set(k)
 			stack = append(stack, k)
 		}
 	}
-	if reached != len(t.parent) {
-		return fmt.Errorf("multicast: %d nodes on tree but only %d reachable from source", len(t.parent), reached)
+	if reached != t.nNodes {
+		return fmt.Errorf("multicast: %d nodes on tree but only %d reachable from source", t.nNodes, reached)
 	}
-	for m := range t.members {
+	if members != t.nMembers {
+		return fmt.Errorf("multicast: member count %d does not match member set %d", t.nMembers, members)
+	}
+	for i := len(order) - 1; i >= 0; i-- { // reverse pre-order = bottom-up
+		n := order[i]
+		if counts[n] != t.nr[n] {
+			return fmt.Errorf("multicast: cached N_%d = %d, recount = %d", n, t.nr[n], counts[n])
+		}
+		if p := t.parent[n]; p != graph.Invalid {
+			counts[p] += counts[n]
+		}
+	}
+	for _, m := range t.Members() {
 		if !t.OnTree(m) {
 			return fmt.Errorf("multicast: member %d not on tree", m)
 		}

@@ -3,7 +3,7 @@ package protocol
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/eventsim"
 	"smrp/internal/failure"
@@ -293,7 +293,7 @@ func (i *SPFInstance) Restorations() []Restoration {
 	for _, r := range i.restorations {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Member < out[b].Member })
+	slices.SortFunc(out, func(a, b Restoration) int { return int(a.Member - b.Member) })
 	return out
 }
 

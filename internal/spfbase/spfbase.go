@@ -8,7 +8,7 @@ package spfbase
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"smrp/internal/failure"
 	"smrp/internal/graph"
@@ -178,7 +178,7 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 		rep.RecoveryDistance[m] = rd
 		rep.NewPaths[m] = p
 	}
-	sort.Slice(rep.Unrecovered, func(i, j int) bool { return rep.Unrecovered[i] < rep.Unrecovered[j] })
+	slices.Sort(rep.Unrecovered)
 
 	// Flush dead state.
 	var deadRoots []graph.NodeID
@@ -220,7 +220,7 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 			return nil, fmt.Errorf("heal: regraft %d: %w", m, err)
 		}
 	}
-	sort.Slice(rep.Unrecovered, func(i, j int) bool { return rep.Unrecovered[i] < rep.Unrecovered[j] })
+	slices.Sort(rep.Unrecovered)
 
 	rep.Pruned = s.tree.PruneStale()
 	return rep, nil
