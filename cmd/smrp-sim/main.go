@@ -9,6 +9,7 @@
 //	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
 //
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
+// The multi-failure chaos harness runs via -fig chaos (never part of "all").
 //
 // Scenarios within a figure execute on a deterministic parallel runner
 // (-workers, default GOMAXPROCS). Output is bit-identical for every worker
@@ -17,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
@@ -27,19 +30,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the context; in-flight trials stop dispatching and the
+	// run exits with ctx.Err() instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "smrp-sim:", err)
 		os.Exit(1)
 	}
 }
 
+// run executes the CLI without external cancellation (kept for tests).
 func run(args []string) error {
+	return runCtx(context.Background(), args)
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|all")
+		fig     = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|all (chaos runs only when named)")
 		topos   = fs.Int("topos", 10, "random topologies per sweep point")
 		sets    = fs.Int("sets", 10, "member sets per topology")
 		runs    = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
+		trials  = fs.Int("trials", 200, "seeded failure schedules for the chaos study")
 		seed    = fs.Uint64("seed", 2005, "base RNG seed")
 		csv     = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
@@ -69,7 +82,7 @@ func run(args []string) error {
 
 	if want("7") {
 		ran = true
-		res, err := experiment.RunFig7(*seed)
+		res, err := experiment.RunFig7Ctx(ctx, *seed)
 		if err != nil {
 			return err
 		}
@@ -82,19 +95,19 @@ func run(args []string) error {
 	}
 	type sweep struct {
 		name string
-		run  func(int, int, uint64) (*experiment.SweepResult, error)
+		run  func(context.Context, int, int, uint64) (*experiment.SweepResult, error)
 	}
 	for _, s := range []sweep{
-		{name: "8", run: experiment.RunFig8},
-		{name: "9", run: experiment.RunFig9},
-		{name: "10", run: experiment.RunFig10},
-		{name: "degree10", run: experiment.RunDegree10},
+		{name: "8", run: experiment.RunFig8Ctx},
+		{name: "9", run: experiment.RunFig9Ctx},
+		{name: "10", run: experiment.RunFig10Ctx},
+		{name: "degree10", run: experiment.RunDegree10Ctx},
 	} {
 		if !want(s.name) {
 			continue
 		}
 		ran = true
-		res, err := s.run(*topos, *sets, *seed)
+		res, err := s.run(ctx, *topos, *sets, *seed)
 		if err != nil {
 			return err
 		}
@@ -107,7 +120,7 @@ func run(args []string) error {
 	}
 	if want("latency") {
 		ran = true
-		res, err := experiment.RunLatency(*runs, *seed)
+		res, err := experiment.RunLatencyCtx(ctx, *runs, *seed)
 		if err != nil {
 			return err
 		}
@@ -115,7 +128,7 @@ func run(args []string) error {
 	}
 	if want("hierarchy") {
 		ran = true
-		res, err := experiment.RunHierarchy(*runs, *seed)
+		res, err := experiment.RunHierarchyCtx(ctx, *runs, *seed)
 		if err != nil {
 			return err
 		}
@@ -123,7 +136,7 @@ func run(args []string) error {
 	}
 	if want("ablations") {
 		ran = true
-		res, err := experiment.RunAblations(*topos/2, *sets/2, *seed)
+		res, err := experiment.RunAblationsCtx(ctx, *topos/2, *sets/2, *seed)
 		if err != nil {
 			return err
 		}
@@ -136,7 +149,7 @@ func run(args []string) error {
 	}
 	if want("churn") {
 		ran = true
-		res, err := experiment.RunChurn(*runs, *seed)
+		res, err := experiment.RunChurnCtx(ctx, *runs, *seed)
 		if err != nil {
 			return err
 		}
@@ -144,7 +157,7 @@ func run(args []string) error {
 	}
 	if want("nlevel") {
 		ran = true
-		res, err := experiment.RunNLevel(*runs, *seed)
+		res, err := experiment.RunNLevelCtx(ctx, *runs, *seed)
 		if err != nil {
 			return err
 		}
@@ -152,11 +165,25 @@ func run(args []string) error {
 	}
 	if want("protection") {
 		ran = true
-		res, err := experiment.RunProtection(*runs, *seed)
+		res, err := experiment.RunProtectionCtx(ctx, *runs, *seed)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
+	}
+	// The chaos study runs only when explicitly requested: it is a
+	// correctness harness, not one of the paper's figures, and keeping it
+	// out of "all" keeps the blessed -fig all output stable.
+	if strings.EqualFold(*fig, "chaos") {
+		ran = true
+		res, err := experiment.RunChaosCtx(ctx, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("chaos: %d invariant violations", len(res.Violations))
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown figure %q", *fig)

@@ -1,0 +1,79 @@
+package smrp_test
+
+import (
+	"errors"
+	"testing"
+
+	"smrp"
+)
+
+// TestPublicSentinels exercises the re-exported sentinel errors through the
+// public API only: every failure mode must be matchable with errors.Is on a
+// smrp.Err* value.
+func TestPublicSentinels(t *testing.T) {
+	net, err := smrp.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := smrp.NewSession(net, 0, smrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Join(3); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sess.Join(99); !errors.Is(err, smrp.ErrUnknownNode) {
+		t.Errorf("Join(99) = %v, want ErrUnknownNode", err)
+	}
+	if _, err := sess.Join(3); !errors.Is(err, smrp.ErrAlreadyMember) {
+		t.Errorf("re-Join = %v, want ErrAlreadyMember", err)
+	}
+
+	// Cut every link around member 4's would-be attachment: joining it under
+	// the accumulated mask degrades gracefully to the parked state.
+	if _, err := sess.Join(4); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.HealSet(smrp.SRLG(net, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrecovered) != 1 || rep.Unrecovered[0] != 4 {
+		t.Fatalf("Unrecovered = %v, want [4]", rep.Unrecovered)
+	}
+	if !sess.IsParked(4) {
+		t.Fatal("member 4 should be parked")
+	}
+	if _, _, err := sess.RecoverMember(4); !errors.Is(err, smrp.ErrPartitioned) {
+		t.Errorf("RecoverMember(parked) = %v, want ErrPartitioned", err)
+	}
+
+	// Repair re-admits automatically.
+	rr, err := sess.Repair(smrp.SRLG(net, 4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Readmitted) != 1 || rr.Readmitted[0] != 4 {
+		t.Fatalf("Readmitted = %v, want [4]", rr.Readmitted)
+	}
+
+	// Configuration and schedule validation sentinels.
+	bad := smrp.DefaultConfig()
+	bad.DThresh = -1
+	if _, err := smrp.NewSession(net, 0, bad); !errors.Is(err, smrp.ErrBadConfig) {
+		t.Errorf("NewSession(bad config) = %v, want ErrBadConfig", err)
+	}
+	if _, err := smrp.GenerateWaxman(0, 0.2, smrp.DefaultBeta, 1); !errors.Is(err, smrp.ErrBadTopologyConfig) {
+		t.Errorf("GenerateWaxman(0 nodes) = %v, want ErrBadTopologyConfig", err)
+	}
+	s := smrp.FailureSchedule{Events: []smrp.FailureEvent{{At: 1}}}
+	if err := s.Validate(); !errors.Is(err, smrp.ErrBadSchedule) {
+		t.Errorf("Validate(empty event) = %v, want ErrBadSchedule", err)
+	}
+	cfg := smrp.DefaultChaosConfig()
+	cfg.Events = 0
+	if _, err := smrp.RandomSchedule(net, 0, nil, cfg, smrp.NewRNG(1)); !errors.Is(err, smrp.ErrBadSchedule) {
+		t.Errorf("RandomSchedule(bad config) = %v, want ErrBadSchedule", err)
+	}
+}

@@ -25,7 +25,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	names := smrp.Fig4Nodes
+	names := smrp.Fig4Nodes()
 	name := func(n smrp.NodeID) string { return names[n] }
 
 	sess, err := smrp.NewSession(net, 0, smrp.DefaultConfig())

@@ -1,6 +1,8 @@
 package smrp
 
 import (
+	"context"
+
 	"smrp/internal/eventsim"
 	"smrp/internal/experiment"
 	"smrp/internal/hierarchy"
@@ -114,31 +116,122 @@ type (
 	ChurnResult = experiment.ChurnResult
 	// NLevelResult is the N-level recovery-scope study.
 	NLevelResult = experiment.NLevelResult
+	// ChaosResult is the multi-failure chaos harness summary.
+	ChaosResult = experiment.ChaosResult
 )
 
-// Experiment runners.
-var (
-	// RunFig7 reproduces Figure 7 (5 topologies, default parameters).
-	RunFig7 = experiment.RunFig7
-	// RunFig8 reproduces Figure 8 (the D_thresh sweep).
-	RunFig8 = experiment.RunFig8
-	// RunFig9 reproduces Figure 9 (the α / node-degree sweep).
-	RunFig9 = experiment.RunFig9
-	// RunFig10 reproduces Figure 10 (the group-size sweep).
-	RunFig10 = experiment.RunFig10
-	// RunDegree10 reproduces the §4.3.3 in-text high-connectivity study.
-	RunDegree10 = experiment.RunDegree10
-	// RunAblations executes the design ablations from DESIGN.md.
-	RunAblations = experiment.RunAblations
-	// RunLatency measures restoration latency on the event-driven protocols.
-	RunLatency = experiment.RunLatency
-	// RunHierarchy compares hierarchical and flat recovery scope.
-	RunHierarchy = experiment.RunHierarchy
-	// RunChurn studies reshaping under membership churn (§3.2.3).
-	RunChurn = experiment.RunChurn
-	// RunNLevel measures recovery-scope shrink under N-level hierarchies.
-	RunNLevel = experiment.RunNLevel
-)
+// RunFig7 reproduces Figure 7 (5 topologies, default parameters).
+func RunFig7(seed uint64) (*Fig7Result, error) { return experiment.RunFig7(seed) }
+
+// RunFig7Ctx is RunFig7 under a caller-supplied context: a cancelled ctx
+// stops trial dispatch promptly and returns ctx.Err(). The same contract
+// holds for every Run*Ctx variant below.
+func RunFig7Ctx(ctx context.Context, seed uint64) (*Fig7Result, error) {
+	return experiment.RunFig7Ctx(ctx, seed)
+}
+
+// RunFig8 reproduces Figure 8 (the D_thresh sweep).
+func RunFig8(nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig8(nTopo, nSets, seed)
+}
+
+// RunFig8Ctx is RunFig8 under a caller-supplied context.
+func RunFig8Ctx(ctx context.Context, nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig8Ctx(ctx, nTopo, nSets, seed)
+}
+
+// RunFig9 reproduces Figure 9 (the α / node-degree sweep).
+func RunFig9(nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig9(nTopo, nSets, seed)
+}
+
+// RunFig9Ctx is RunFig9 under a caller-supplied context.
+func RunFig9Ctx(ctx context.Context, nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig9Ctx(ctx, nTopo, nSets, seed)
+}
+
+// RunFig10 reproduces Figure 10 (the group-size sweep).
+func RunFig10(nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig10(nTopo, nSets, seed)
+}
+
+// RunFig10Ctx is RunFig10 under a caller-supplied context.
+func RunFig10Ctx(ctx context.Context, nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunFig10Ctx(ctx, nTopo, nSets, seed)
+}
+
+// RunDegree10 reproduces the §4.3.3 in-text high-connectivity study.
+func RunDegree10(nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunDegree10(nTopo, nSets, seed)
+}
+
+// RunDegree10Ctx is RunDegree10 under a caller-supplied context.
+func RunDegree10Ctx(ctx context.Context, nTopo, nSets int, seed uint64) (*SweepResult, error) {
+	return experiment.RunDegree10Ctx(ctx, nTopo, nSets, seed)
+}
+
+// RunAblations executes the design ablations from DESIGN.md.
+func RunAblations(nTopo, nSets int, seed uint64) (*AblationResult, error) {
+	return experiment.RunAblations(nTopo, nSets, seed)
+}
+
+// RunAblationsCtx is RunAblations under a caller-supplied context.
+func RunAblationsCtx(ctx context.Context, nTopo, nSets int, seed uint64) (*AblationResult, error) {
+	return experiment.RunAblationsCtx(ctx, nTopo, nSets, seed)
+}
+
+// RunLatency measures restoration latency on the event-driven protocols.
+func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
+	return experiment.RunLatency(runs, seed)
+}
+
+// RunLatencyCtx is RunLatency under a caller-supplied context.
+func RunLatencyCtx(ctx context.Context, runs int, seed uint64) (*LatencyResult, error) {
+	return experiment.RunLatencyCtx(ctx, runs, seed)
+}
+
+// RunHierarchy compares hierarchical and flat recovery scope.
+func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
+	return experiment.RunHierarchy(runs, seed)
+}
+
+// RunHierarchyCtx is RunHierarchy under a caller-supplied context.
+func RunHierarchyCtx(ctx context.Context, runs int, seed uint64) (*HierResult, error) {
+	return experiment.RunHierarchyCtx(ctx, runs, seed)
+}
+
+// RunChurn studies reshaping under membership churn (§3.2.3).
+func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
+	return experiment.RunChurn(runs, seed)
+}
+
+// RunChurnCtx is RunChurn under a caller-supplied context.
+func RunChurnCtx(ctx context.Context, runs int, seed uint64) (*ChurnResult, error) {
+	return experiment.RunChurnCtx(ctx, runs, seed)
+}
+
+// RunNLevel measures recovery-scope shrink under N-level hierarchies.
+func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
+	return experiment.RunNLevel(runs, seed)
+}
+
+// RunNLevelCtx is RunNLevel under a caller-supplied context.
+func RunNLevelCtx(ctx context.Context, runs int, seed uint64) (*NLevelResult, error) {
+	return experiment.RunNLevelCtx(ctx, runs, seed)
+}
+
+// RunChaos replays seeded multi-failure schedules (overlapping failures,
+// SRLG bursts, full partitions, repairs) through both the algorithmic
+// session and the message-level protocol, checking a structural-invariant
+// oracle after every event. A healthy build reports zero violations.
+func RunChaos(trials int, seed uint64) (*ChaosResult, error) {
+	return experiment.RunChaos(trials, seed)
+}
+
+// RunChaosCtx is RunChaos under a caller-supplied context.
+func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, error) {
+	return experiment.RunChaosCtx(ctx, trials, seed)
+}
 
 // DefaultExperimentBase returns the paper's default evaluation setup.
 func DefaultExperimentBase() ExperimentBase { return experiment.DefaultBase() }

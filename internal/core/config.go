@@ -14,6 +14,11 @@ import (
 	"fmt"
 )
 
+// ErrBadConfig is wrapped by every Config.Validate error, so callers can
+// match invalid-parameter failures with errors.Is without depending on
+// message text.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
 // Knowledge selects how a joining member learns about on-tree nodes
 // (§3.3.1 of the paper).
 type Knowledge int
@@ -110,17 +115,17 @@ func DefaultConfig() Config {
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.DThresh < 0 {
-		return fmt.Errorf("core: DThresh = %v must be non-negative", c.DThresh)
+		return fmt.Errorf("%w: DThresh = %v must be non-negative", ErrBadConfig, c.DThresh)
 	}
 	switch c.Knowledge {
 	case FullTopology, QueryScheme:
 	default:
-		return errors.New("core: Knowledge must be FullTopology or QueryScheme")
+		return fmt.Errorf("%w: Knowledge must be FullTopology or QueryScheme", ErrBadConfig)
 	}
 	switch c.SHRMode {
 	case EagerSHR, DeferredSHR:
 	default:
-		return errors.New("core: SHRMode must be EagerSHR or DeferredSHR")
+		return fmt.Errorf("%w: SHRMode must be EagerSHR or DeferredSHR", ErrBadConfig)
 	}
 	return nil
 }
@@ -136,4 +141,6 @@ type Stats struct {
 	SHRComputes    int // on-demand SHR evaluations under deferred maintenance
 	QueryMessages  int // query-scheme messages sent (neighbor relays)
 	CandidatesSeen int // total candidates examined during path selections
+	Parks          int // members degraded to the parked state (partitioned)
+	Readmissions   int // parked members automatically re-admitted
 }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+)
+
+// lineGraph builds 0—1—…—(n-1) with unit weights.
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// ringGraph closes the line into a cycle.
+func ringGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := lineGraph(t, n)
+	if err := g.AddEdge(graph.NodeID(n-1), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDegradationPartitionRepair is the table-driven degraded-member state
+// machine test: failures that partition a member must park it (not corrupt
+// the session), and Repair must re-admit exactly the members it reconnects.
+func TestDegradationPartitionRepair(t *testing.T) {
+	cases := []struct {
+		name            string
+		build           func(t *testing.T) *graph.Graph
+		members         []graph.NodeID
+		fail            []failure.Failure
+		wantUnrecovered []graph.NodeID
+		wantParked      []graph.NodeID
+		repair          []failure.Failure
+		wantReadmitted  []graph.NodeID
+		wantStillParked []graph.NodeID
+	}{
+		{
+			name:            "line cut strands both downstream members",
+			build:           func(t *testing.T) *graph.Graph { return lineGraph(t, 6) },
+			members:         []graph.NodeID{3, 5},
+			fail:            []failure.Failure{failure.LinkDown(2, 3)},
+			wantUnrecovered: []graph.NodeID{3, 5},
+			wantParked:      []graph.NodeID{3, 5},
+			repair:          []failure.Failure{failure.LinkDown(2, 3)},
+			wantReadmitted:  []graph.NodeID{3, 5},
+		},
+		{
+			name:            "node failure strands only the far member",
+			build:           func(t *testing.T) *graph.Graph { return lineGraph(t, 6) },
+			members:         []graph.NodeID{3, 5},
+			fail:            []failure.Failure{failure.NodeDown(4)},
+			wantUnrecovered: []graph.NodeID{5},
+			wantParked:      []graph.NodeID{5},
+			repair:          []failure.Failure{failure.NodeDown(4)},
+			wantReadmitted:  []graph.NodeID{5},
+		},
+		{
+			name:  "ring survives one cut, parks on full isolation",
+			build: func(t *testing.T) *graph.Graph { return ringGraph(t, 6) },
+			members: []graph.NodeID{
+				3,
+			},
+			fail:            []failure.Failure{failure.LinkDown(2, 3), failure.LinkDown(3, 4)},
+			wantUnrecovered: []graph.NodeID{3},
+			wantParked:      []graph.NodeID{3},
+			// Partial repair: one of the two incident links is enough.
+			repair:         []failure.Failure{failure.LinkDown(3, 4)},
+			wantReadmitted: []graph.NodeID{3},
+		},
+		{
+			name:            "partial repair leaves the far member parked",
+			build:           func(t *testing.T) *graph.Graph { return lineGraph(t, 6) },
+			members:         []graph.NodeID{3, 5},
+			fail:            []failure.Failure{failure.LinkDown(2, 3), failure.LinkDown(4, 5)},
+			wantUnrecovered: []graph.NodeID{3, 5},
+			wantParked:      []graph.NodeID{3, 5},
+			repair:          []failure.Failure{failure.LinkDown(2, 3)},
+			wantReadmitted:  []graph.NodeID{3},
+			wantStillParked: []graph.NodeID{5},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSession(tc.build(t), 0, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range tc.members {
+				if _, err := s.Join(m); err != nil {
+					t.Fatalf("Join(%d) = %v", m, err)
+				}
+			}
+			rep, err := s.HealSet(tc.fail)
+			if err != nil {
+				t.Fatalf("HealSet(%v) = %v", tc.fail, err)
+			}
+			if !slices.Equal(rep.Unrecovered, tc.wantUnrecovered) {
+				t.Fatalf("Unrecovered = %v, want %v", rep.Unrecovered, tc.wantUnrecovered)
+			}
+			if got := s.Parked(); !slices.Equal(got, tc.wantParked) {
+				t.Fatalf("Parked() = %v, want %v", got, tc.wantParked)
+			}
+			for _, m := range tc.wantParked {
+				if !s.IsParked(m) {
+					t.Errorf("IsParked(%d) = false, want true", m)
+				}
+				if s.Tree().IsMember(m) {
+					t.Errorf("parked member %d still on the tree", m)
+				}
+			}
+			// The degraded tree must remain structurally valid.
+			if err := s.Tree().Validate(); err != nil {
+				t.Fatalf("degraded tree invalid: %v", err)
+			}
+
+			rr, err := s.Repair(tc.repair...)
+			if err != nil {
+				t.Fatalf("Repair(%v) = %v", tc.repair, err)
+			}
+			if !slices.Equal(rr.Readmitted, tc.wantReadmitted) {
+				t.Fatalf("Readmitted = %v, want %v", rr.Readmitted, tc.wantReadmitted)
+			}
+			if !slices.Equal(rr.StillParked, tc.wantStillParked) {
+				t.Fatalf("StillParked = %v, want %v", rr.StillParked, tc.wantStillParked)
+			}
+			for _, m := range tc.wantReadmitted {
+				if s.IsParked(m) || !s.Tree().IsMember(m) {
+					t.Errorf("member %d not re-admitted cleanly", m)
+				}
+			}
+			if err := s.Tree().Validate(); err != nil {
+				t.Fatalf("repaired tree invalid: %v", err)
+			}
+			if st := s.Stats(); st.Readmissions != len(tc.wantReadmitted) {
+				t.Errorf("Stats().Readmissions = %d, want %d", st.Readmissions, len(tc.wantReadmitted))
+			}
+		})
+	}
+}
+
+// TestDegradationErrorIdentity pins the typed-sentinel contract of the
+// degraded paths: every error must be matchable with errors.Is.
+func TestDegradationErrorIdentity(t *testing.T) {
+	g := lineGraph(t, 6)
+	s, err := NewSession(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join while partitioned → ErrPartitioned, and the joiner is parked.
+	s.ApplyFailure(failure.LinkDown(2, 3))
+	if _, err := s.Join(4); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Join under partition = %v, want ErrPartitioned", err)
+	}
+	if !s.IsParked(4) {
+		t.Fatal("partitioned joiner must be parked")
+	}
+
+	// Join of a failed node → failure.ErrMemberFailed.
+	s.ApplyFailure(failure.NodeDown(5))
+	if _, err := s.Join(5); !errors.Is(err, failure.ErrMemberFailed) {
+		t.Fatalf("Join of failed node = %v, want ErrMemberFailed", err)
+	}
+
+	// RecoverMember of a failed node → failure.ErrMemberFailed.
+	if _, _, err := s.RecoverMember(5); !errors.Is(err, failure.ErrMemberFailed) {
+		t.Fatalf("RecoverMember of failed node = %v, want ErrMemberFailed", err)
+	}
+
+	// Out-of-range member → graph.ErrUnknownNode via the core alias.
+	if _, err := s.Join(99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Join(99) = %v, want ErrUnknownNode", err)
+	}
+	if _, err := s.Join(3); !errors.Is(err, ErrAlreadyMember) {
+		t.Fatalf("re-Join = %v, want ErrAlreadyMember", err)
+	}
+
+	// Repair everything: parked member 4 comes back, the failed-node member
+	// never parked (it was refused, not degraded).
+	rr, err := s.Repair(failure.LinkDown(2, 3), failure.NodeDown(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rr.Readmitted, []graph.NodeID{4}) {
+		t.Fatalf("Readmitted = %v, want [4]", rr.Readmitted)
+	}
+	if len(rr.StillParked) != 0 {
+		t.Fatalf("StillParked = %v, want empty", rr.StillParked)
+	}
+	if !s.FailedMask().IsEmpty() {
+		t.Fatal("mask must be empty after full repair")
+	}
+}

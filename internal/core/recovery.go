@@ -9,10 +9,13 @@ import (
 	"smrp/internal/graph"
 )
 
-// HealReport describes how a session recovered from a failure.
+// HealReport describes how a session recovered from one failure event
+// (a single failure, or a correlated SRLG batch via HealSet).
 type HealReport struct {
-	// Failure is the event that was healed.
-	Failure failure.Failure
+	// Failure is the (first) event that was healed; Failures lists the full
+	// correlated batch.
+	Failure  failure.Failure
+	Failures []failure.Failure
 	// Disconnected lists the members the failure cut off, ascending.
 	Disconnected []graph.NodeID
 	// RecoveryDistance maps each recovered member to the weight of its
@@ -21,8 +24,14 @@ type HealReport struct {
 	// Detours maps each recovered member to its detour path
 	// (member → … → reattachment point).
 	Detours map[graph.NodeID]graph.Path
-	// Unrecovered lists members for which no residual path existed.
+	// Unrecovered lists members newly parked by this event: no residual
+	// path existed, so they degraded to the parked state (ErrPartitioned)
+	// and await re-admission.
 	Unrecovered []graph.NodeID
+	// Readmitted lists previously-parked members this heal brought back:
+	// the event's recovery grafts (or its batch of repairs) made an on-tree
+	// node reachable again.
+	Readmitted []graph.NodeID
 	// Pruned lists stale relays reclaimed after recovery (soft-state expiry).
 	Pruned []graph.NodeID
 }
@@ -34,6 +43,18 @@ func (r *HealReport) TotalRecoveryDistance() float64 {
 		total += d
 	}
 	return total
+}
+
+// RepairReport describes a Repair: which components came back and which
+// parked members were automatically re-admitted.
+type RepairReport struct {
+	// Repaired lists the components restored.
+	Repaired []failure.Failure
+	// Readmitted lists parked members re-admitted by this repair, in
+	// re-admission order (ascending).
+	Readmitted []graph.NodeID
+	// StillParked lists members that remain partitioned afterwards.
+	StillParked []graph.NodeID
 }
 
 // FlushDead removes all tree state cut off from the source by the mask
@@ -88,37 +109,107 @@ func (s *Session) RecoverGraft(p graph.Path) error {
 	if err := s.tree.Graft(p, true); err != nil {
 		return err
 	}
-	s.shr.refresh(s.tree, s.tree.TopAncestor(p.Last()))
-	s.recordUpSHR(p.Last())
+	m := p.Last()
+	delete(s.parked, m)
+	s.shr.refresh(s.tree, s.tree.TopAncestor(m))
+	s.recordUpSHR(m)
 	return nil
 }
 
 // Heal restores the session after the given failure using SMRP's local
-// detours: dead tree state below the failure is flushed, then each
-// disconnected member reconnects to the nearest unaffected on-tree node,
-// nearest member first (each reconnection enlarges the live tree, modeling
-// neighbor-assisted recovery). Surviving relays whose branches died are kept
-// as detour targets during recovery and pruned afterwards.
+// detours. The failure is folded into the session's accumulated mask, so
+// overlapping failures compose: every detour avoids *all* failed components,
+// not just the newest one. Dead tree state below the cut is flushed, then
+// each disconnected member reconnects to the nearest unaffected on-tree
+// node, nearest member first (each reconnection enlarges the live tree,
+// modeling neighbor-assisted recovery). Members with no residual path
+// degrade gracefully: they are parked (see Parked/ErrPartitioned) and
+// re-admitted automatically by a later Heal or Repair that makes them
+// reachable. Surviving relays whose branches died are kept as detour
+// targets during recovery and pruned afterwards.
 //
-// The failed component remains failed: subsequent operations on the session
-// should treat the underlying graph as degraded (pass the same mask).
+// The failed component remains failed: subsequent joins and reshapes treat
+// the underlying graph as degraded automatically.
 func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
-	mask := f.Mask()
+	return s.HealSet([]failure.Failure{f})
+}
+
+// HealSet is Heal for a correlated batch (an SRLG cut): every failure in fs
+// is applied atomically before recovery begins, so detours never route over
+// a sibling cut discovered one step later.
+func (s *Session) HealSet(fs []failure.Failure) (*HealReport, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("core: heal: %w: empty failure set", failure.ErrBadSchedule)
+	}
+	s.ApplyFailure(fs...)
+	return s.reconcile(fs)
+}
+
+// Reconcile re-runs failure recovery against the session's accumulated mask
+// without applying new failures. It flushes tree state that is dead under the
+// current mask and re-grafts (or parks) the affected members — the repair
+// path for a session whose mask changed while recovery was suspended (e.g. a
+// recovery domain whose agent was down while further failures accumulated).
+// It is a no-op on a healthy session with an intact tree.
+func (s *Session) Reconcile() (*HealReport, error) {
+	return s.reconcile(nil)
+}
+
+// reconcile is the shared heal engine: flush dead state under the
+// accumulated mask, then reconnect nearest-first.
+func (s *Session) reconcile(fs []failure.Failure) (*HealReport, error) {
+	mask := s.maskOrNil()
+	// Members that failed themselves are flushed with their branches and
+	// parked below: they are gone until repaired, then re-admitted like any
+	// other parked member. (DisconnectedMembers excludes them by design —
+	// they are not *disconnected* — but the degraded-member state machine
+	// must still account for them.)
+	var selfFailed []graph.NodeID
+	if mask != nil {
+		for _, m := range s.tree.Members() {
+			if mask.NodeBlocked(m) {
+				selfFailed = append(selfFailed, m)
+			}
+		}
+	}
 	disconnected, err := s.FlushDead(mask)
 	if err != nil {
 		return nil, err
 	}
+	if len(selfFailed) > 0 {
+		disconnected = append(disconnected, selfFailed...)
+		slices.Sort(disconnected)
+	}
 	rep := &HealReport{
-		Failure:          f,
+		Failures:         fs,
 		Disconnected:     disconnected,
 		RecoveryDistance: make(map[graph.NodeID]float64),
 		Detours:          make(map[graph.NodeID]graph.Path),
 	}
+	if len(fs) > 0 {
+		rep.Failure = fs[0]
+	}
 
-	// Reconnect members nearest-first, letting the live tree grow.
-	remaining := make(map[graph.NodeID]bool, len(rep.Disconnected))
+	// Reconnect nearest-first, letting the live tree grow. Previously
+	// parked members compete too: a recovery graft may bring an on-tree
+	// node back within their reach (automatic re-admission).
+	remaining := make(map[graph.NodeID]bool, len(rep.Disconnected)+len(s.parked))
+	wasParked := make(map[graph.NodeID]bool, len(s.parked))
 	for _, m := range rep.Disconnected {
+		if mask.NodeBlocked(m) {
+			// The member itself failed: it cannot reconnect while down, so it
+			// parks immediately and re-joins when repaired.
+			s.park(m)
+			rep.Unrecovered = append(rep.Unrecovered, m)
+			continue
+		}
 		remaining[m] = true
+	}
+	for m := range s.parked {
+		if !mask.NodeBlocked(m) && !s.tree.IsMember(m) {
+			remaining[m] = true
+			wasParked[m] = true
+		}
 	}
 	accept := func(n graph.NodeID) bool {
 		return s.tree.OnTree(n) && !mask.NodeBlocked(n)
@@ -136,10 +227,15 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 			}
 		}
 		if bestM == graph.Invalid {
+			// Everyone left is genuinely partitioned: park the newly
+			// disconnected; the already-parked stay parked.
 			for m := range remaining {
+				if wasParked[m] {
+					continue
+				}
+				s.park(m)
 				rep.Unrecovered = append(rep.Unrecovered, m)
 			}
-			slices.Sort(rep.Unrecovered)
 			break
 		}
 		delete(remaining, bestM)
@@ -147,10 +243,17 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 		if err := s.tree.Graft(bestPath.Reverse(), true); err != nil {
 			return nil, fmt.Errorf("heal: regraft %d: %w", bestM, err)
 		}
+		if wasParked[bestM] {
+			delete(s.parked, bestM)
+			s.stats.Readmissions++
+			rep.Readmitted = append(rep.Readmitted, bestM)
+		}
 		dirty = append(dirty, s.tree.TopAncestor(bestM))
 		rep.RecoveryDistance[bestM] = bestD
 		rep.Detours[bestM] = bestPath
 	}
+	slices.Sort(rep.Unrecovered)
+	slices.Sort(rep.Readmitted)
 
 	// Stale relays are childless non-members (N_R = 0), so pruning them
 	// never changes a survivor's SHR — only the regrafted branches are
@@ -162,5 +265,69 @@ func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
 			s.recordUpSHR(m)
 		}
 	}
+	return rep, nil
+}
+
+// RecoverMember attempts a local-detour re-admission of a single off-tree
+// node (typically a parked member): the shortest residual path to the
+// nearest live on-tree node is grafted. It returns ErrPartitioned — and
+// parks the member — when no residual path exists.
+func (s *Session) RecoverMember(m graph.NodeID) (graph.Path, float64, error) {
+	if m < 0 || int(m) >= s.g.NumNodes() {
+		return nil, 0, fmt.Errorf("recover %d: %w", m, ErrUnknownNode)
+	}
+	if s.tree.IsMember(m) {
+		return nil, 0, fmt.Errorf("recover %d: %w", m, ErrAlreadyMember)
+	}
+	mask := s.maskOrNil()
+	if mask.NodeBlocked(m) {
+		return nil, 0, fmt.Errorf("recover %d: %w", m, failure.ErrMemberFailed)
+	}
+	if s.tree.OnTree(m) {
+		if err := s.RecoverGraft(graph.Path{m}); err != nil {
+			return nil, 0, err
+		}
+		return graph.Path{m}, 0, nil
+	}
+	accept := func(n graph.NodeID) bool {
+		return s.tree.OnTree(n) && !mask.NodeBlocked(n)
+	}
+	node, p, d := s.g.NearestOf(m, mask, accept)
+	if node == graph.Invalid {
+		s.park(m)
+		return nil, 0, fmt.Errorf("recover %d: %w", m, ErrPartitioned)
+	}
+	if err := s.RecoverGraft(p.Reverse()); err != nil {
+		return nil, 0, err
+	}
+	return p, d, nil
+}
+
+// Repair restores failed components and automatically re-admits every
+// parked member the repair reconnects, ascending (each re-admission runs the
+// full SMRP path selection, so re-admitted members land on low-SHR paths,
+// not merely the nearest survivor). Repairing a component that was never
+// failed is a no-op.
+func (s *Session) Repair(fs ...failure.Failure) (*RepairReport, error) {
+	rep := &RepairReport{Repaired: fs}
+	if s.failed != nil {
+		for _, f := range fs {
+			f.RemoveFrom(s.failed)
+		}
+	}
+	for _, m := range s.Parked() {
+		if s.maskOrNil().NodeBlocked(m) {
+			continue // component still down; stays parked
+		}
+		delete(s.parked, m) // Join must not see it as parked
+		if _, err := s.Join(m); err != nil {
+			// Still partitioned (or worse): back to parked.
+			s.park(m)
+			continue
+		}
+		s.stats.Readmissions++
+		rep.Readmitted = append(rep.Readmitted, m)
+	}
+	rep.StillParked = s.Parked()
 	return rep, nil
 }

@@ -218,15 +218,22 @@ func TestHealRandomWorstCases(t *testing.T) {
 			t.Errorf("seed %d: members %d + unrecovered %d != %d",
 				seed, s.Tree().NumMembers(), len(rep.Unrecovered), before)
 		}
-		// Session remains usable after healing: one more join.
+		// Session remains usable after healing: one more join. The session
+		// now treats the graph as degraded, so candidates the failure cut
+		// off park with ErrPartitioned — skip those and join the first
+		// reachable node.
 		for n := 1; n < g.NumNodes(); n++ {
 			nd := graph.NodeID(n)
-			if !s.Tree().IsMember(nd) && !f.Mask().NodeBlocked(nd) {
-				if _, err := s.Join(nd); err != nil {
-					t.Fatalf("seed %d: post-heal join: %v", seed, err)
-				}
-				break
+			if s.Tree().IsMember(nd) || f.Mask().NodeBlocked(nd) {
+				continue
 			}
+			if _, err := s.Join(nd); err != nil {
+				if errors.Is(err, ErrPartitioned) {
+					continue
+				}
+				t.Fatalf("seed %d: post-heal join: %v", seed, err)
+			}
+			break
 		}
 		if err := s.Tree().Validate(); err != nil {
 			t.Fatalf("seed %d: post-heal join invariant: %v", seed, err)

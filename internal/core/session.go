@@ -5,16 +5,33 @@ import (
 	"fmt"
 	"slices"
 
+	"smrp/internal/failure"
 	"smrp/internal/graph"
 	"smrp/internal/multicast"
 )
 
-// Sentinel errors returned by Session operations.
+// Sentinel errors returned by Session operations. All are matchable with
+// errors.Is through any wrapping the session applies.
 var (
 	// ErrAlreadyMember is returned when a join names an existing member.
 	ErrAlreadyMember = errors.New("core: node is already a member")
 	// ErrNoPath is returned when a joining node cannot reach the tree.
 	ErrNoPath = errors.New("core: no path connects the node to the tree")
+	// ErrNoCandidate is returned when candidate enumeration finds no
+	// admissible connection path for a joiner (distinct from ErrNoPath: the
+	// node may be reachable but every candidate is excluded by the mask).
+	ErrNoCandidate = fmt.Errorf("%w: no candidate connection", ErrNoPath)
+	// ErrPartitioned is returned when a member is genuinely cut off from the
+	// source by the accumulated failures: no residual path exists. The
+	// member is parked (see Parked) and re-admitted automatically once a
+	// Repair — or a later recovery graft — makes it reachable again.
+	ErrPartitioned = errors.New("core: member is partitioned from the source")
+	// ErrNotMember aliases the tree-layer sentinel so callers can match
+	// membership errors at this layer.
+	ErrNotMember = multicast.ErrNotMember
+	// ErrUnknownNode aliases the graph-layer sentinel for nodes outside the
+	// session's topology.
+	ErrUnknownNode = graph.ErrUnknownNode
 )
 
 // Session is a synchronous SMRP multicast session: a tree under
@@ -39,6 +56,16 @@ type Session struct {
 	// computation inside reshapeMember.
 	hypoVals  shrVals
 	hypoStack []graph.NodeID
+
+	// failed accumulates every persistent failure applied to the session
+	// (ApplyFailure/Heal); nil while the network is healthy. Path selection,
+	// reshaping, and recovery all avoid the accumulated mask.
+	failed *graph.Mask
+	// parked holds members degraded out of the tree because no residual
+	// path to the source existed under the accumulated failures. They are
+	// re-admitted automatically by Repair or by a later Heal whose grafts
+	// bring an on-tree node back within reach.
+	parked map[graph.NodeID]bool
 
 	stats Stats
 }
@@ -120,14 +147,24 @@ type JoinResult struct {
 // tree.
 func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 	if nr < 0 || int(nr) >= s.g.NumNodes() {
-		return nil, fmt.Errorf("join %d: node not in graph", nr)
+		return nil, fmt.Errorf("join %d: %w", nr, ErrUnknownNode)
 	}
 	if s.tree.IsMember(nr) {
 		return nil, fmt.Errorf("join %d: %w", nr, ErrAlreadyMember)
 	}
+	mask := s.maskOrNil()
+	if mask.NodeBlocked(nr) {
+		return nil, fmt.Errorf("join %d: %w", nr, failure.ErrMemberFailed)
+	}
 
-	spfPath, spfDelay := s.g.ShortestPath(s.tree.Source(), nr, nil)
+	spfPath, spfDelay := s.g.ShortestPath(s.tree.Source(), nr, mask)
 	if spfPath == nil && nr != s.tree.Source() {
+		if mask != nil {
+			// Degrade gracefully: the joiner is alive but the accumulated
+			// failures cut it off. Park it for automatic re-admission.
+			s.park(nr)
+			return nil, fmt.Errorf("join %d: %w", nr, ErrPartitioned)
+		}
 		return nil, fmt.Errorf("join %d: %w", nr, ErrNoPath)
 	}
 
@@ -143,6 +180,10 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 	} else {
 		cand, ok, err := s.selectJoinPath(nr, spfDelay, nil)
 		if err != nil {
+			if mask != nil && errors.Is(err, ErrNoPath) {
+				s.park(nr)
+				return nil, fmt.Errorf("join %d: %w", nr, ErrPartitioned)
+			}
 			return nil, fmt.Errorf("join %d: %w", nr, err)
 		}
 		if err := s.tree.Graft(cand.Connection, true); err != nil {
@@ -154,6 +195,7 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 		res.WithinBound = ok
 	}
 
+	delete(s.parked, nr)
 	s.stats.Joins++
 	// The join perturbs N_R (and therefore SHR) only inside the member's
 	// top-level branch — repair exactly that dirty subtree.
@@ -171,22 +213,91 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 
 // selectJoinPath enumerates candidates for joiner (per the configured
 // knowledge mode) and applies the selection criterion. extraMask lets
-// reshaping exclude the member's own subtree.
+// reshaping exclude the member's own subtree; the session's accumulated
+// failure mask is always folded in on top.
 func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask) (Candidate, bool, error) {
 	shr := s.shr.dense(s.tree)
+	mask := s.opMask(extraMask)
 	var cands []Candidate
 	switch s.cfg.Knowledge {
 	case QueryScheme:
-		cands = enumerateQuery(s.tree, joiner, shr, extraMask, &s.stats)
+		cands = enumerateQuery(s.tree, joiner, shr, mask, &s.stats)
 	default:
-		cands = enumerateFull(s.tree, joiner, shr, extraMask)
+		cands = enumerateFull(s.tree, joiner, shr, mask)
 	}
 	s.stats.CandidatesSeen += len(cands)
 	if len(cands) == 0 {
-		return Candidate{}, false, ErrNoPath
+		return Candidate{}, false, ErrNoCandidate
 	}
 	best, ok := selectCandidate(cands, spfDelay, s.cfg.DThresh)
 	return best, ok, nil
+}
+
+// maskOrNil returns the accumulated failure mask, or nil while healthy (the
+// nil fast path keeps the healthy hot path and its SPF-cache keys identical
+// to a mask-free session).
+func (s *Session) maskOrNil() *graph.Mask {
+	if s.failed.IsEmpty() {
+		return nil
+	}
+	return s.failed
+}
+
+// opMask combines an operation-specific extra mask with the accumulated
+// failure mask, avoiding allocation whenever either side is empty.
+func (s *Session) opMask(extra *graph.Mask) *graph.Mask {
+	if s.failed.IsEmpty() {
+		return extra
+	}
+	if extra.IsEmpty() {
+		return s.failed
+	}
+	return extra.Union(s.failed)
+}
+
+// park records m as degraded out of the session (no residual path).
+func (s *Session) park(m graph.NodeID) {
+	if s.parked == nil {
+		s.parked = make(map[graph.NodeID]bool)
+	}
+	if !s.parked[m] {
+		s.parked[m] = true
+		s.stats.Parks++
+	}
+	delete(s.lastUpSHR, m)
+}
+
+// Parked returns the members currently degraded out of the tree because the
+// accumulated failures partition them from the source, in ascending order.
+func (s *Session) Parked() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.parked))
+	for m := range s.parked {
+		out = append(out, m)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// IsParked reports whether m is currently parked.
+func (s *Session) IsParked(m graph.NodeID) bool { return s.parked[m] }
+
+// FailedMask returns a copy of the accumulated failure mask (empty while
+// healthy).
+func (s *Session) FailedMask() *graph.Mask { return s.failed.Clone() }
+
+// ApplyFailure folds persistent failures into the session's accumulated
+// mask without healing. Heal applies its failure itself; use this when the
+// protocol layer detects a failure before recovery begins.
+func (s *Session) ApplyFailure(fs ...failure.Failure) {
+	if len(fs) == 0 {
+		return
+	}
+	if s.failed == nil {
+		s.failed = graph.NewMask()
+	}
+	for _, f := range fs {
+		f.ApplyTo(s.failed)
+	}
 }
 
 // Leave removes member m and prunes its unused branch.
@@ -301,10 +412,10 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 		s.stats.SHRComputes += hypo.NumNodes()
 	}
 
-	// New-path candidates must avoid m's own subtree (cycle prevention).
-	// Block the whole subtree in one call, then lift m itself — m is the
-	// joiner, not an obstacle.
-	mask := graph.NewMask().BlockNodes(subNodes...).UnblockNode(m)
+	// New-path candidates must avoid m's own subtree (cycle prevention) and
+	// every failed component. Block the whole subtree in one call, then lift
+	// m itself — m is the joiner, not an obstacle.
+	mask := s.opMask(graph.NewMask().BlockNodes(subNodes...).UnblockNode(m))
 	var cands []Candidate
 	switch s.cfg.Knowledge {
 	case QueryScheme:
@@ -317,7 +428,7 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 		return false, nil
 	}
 
-	_, spfDelay := s.g.ShortestPath(s.tree.Source(), m, nil)
+	_, spfDelay := s.g.ShortestPath(s.tree.Source(), m, s.maskOrNil())
 	best, ok := selectCandidate(cands, spfDelay, s.cfg.DThresh)
 	if !ok {
 		return false, nil // no admissible alternative; stay put

@@ -62,6 +62,19 @@ func (n *Network) FailNode(v graph.NodeID) {
 	n.failed.BlockNode(v)
 }
 
+// RepairLink restores the undirected link (u, v) from the current simulation
+// time onward. Repairing a healthy link is a no-op; links blocked because an
+// endpoint node is down stay down until the node is repaired.
+func (n *Network) RepairLink(u, v graph.NodeID) {
+	n.failed.UnblockEdge(u, v)
+}
+
+// RepairNode restores node v (and the links that failed with it). Links that
+// were cut independently of the node stay cut.
+func (n *Network) RepairNode(v graph.NodeID) {
+	n.failed.UnblockNode(v)
+}
+
 // Failed returns the current failure mask (shared; callers must not mutate).
 func (n *Network) Failed() *graph.Mask { return n.failed }
 

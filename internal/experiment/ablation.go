@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,8 +49,8 @@ func (r *AblationResult) Render() string {
 // the parallel runner and summarizes metrics plus overhead counters. The
 // scenario set is shared between variants, so the per-topology SPF caches
 // attached by GenScenarios serve hits across the whole study.
-func ablationVariant(name string, scenarios []Scenario, cfg core.Config, useLocalOnSPF bool, seed uint64) (AblationRow, error) {
-	results, err := evaluateAll(scenarios, cfg, seed)
+func ablationVariant(ctx context.Context, name string, scenarios []Scenario, cfg core.Config, useLocalOnSPF bool, seed uint64) (AblationRow, error) {
+	results, err := evaluateAll(ctx, scenarios, cfg, seed)
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -104,6 +105,11 @@ func ablationVariant(name string, scenarios []Scenario, cfg core.Config, useLoca
 //     different overhead profile);
 //   - no-reshaping / condition-I-only: §3.2.3 contribution of reshaping.
 func RunAblations(nTopo, nSets int, seed uint64) (*AblationResult, error) {
+	return RunAblationsCtx(context.Background(), nTopo, nSets, seed)
+}
+
+// RunAblationsCtx is RunAblations under a caller-supplied context.
+func RunAblationsCtx(ctx context.Context, nTopo, nSets int, seed uint64) (*AblationResult, error) {
 	base := DefaultBase()
 	scenarios, err := GenScenarios(base, nTopo, nSets, seed)
 	if err != nil {
@@ -142,7 +148,7 @@ func RunAblations(nTopo, nSets int, seed uint64) (*AblationResult, error) {
 		{name: "no-reshaping", cfg: noReshape},
 		{name: "condition-I-only", cfg: condIOnly},
 	} {
-		row, err := ablationVariant(v.name, scenarios, v.cfg, v.localOnSPF, seed)
+		row, err := ablationVariant(ctx, v.name, scenarios, v.cfg, v.localOnSPF, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"smrp/internal/topology"
@@ -17,7 +18,7 @@ func TestCalibrateBeta(t *testing.T) {
 	for _, beta := range []float64{0.10, 0.15, 0.20, 0.25} {
 		base := DefaultBase()
 		base.Beta = beta
-		row, err := sweepPoint("b", beta, base, 4, 2, 99)
+		row, err := sweepPoint(context.Background(), "b", beta, base, 4, 2, 99)
 		if err != nil {
 			t.Fatalf("beta %v: %v", beta, err)
 		}
@@ -50,7 +51,7 @@ func TestCalibrateReshape(t *testing.T) {
 		base.Beta = 0.15
 		base.SMRP.ReshapeDelta = v.delta
 		base.SMRP.PeriodicReshape = v.periodic
-		row, err := sweepPoint(v.name, 0, base, 4, 2, 99)
+		row, err := sweepPoint(context.Background(), v.name, 0, base, 4, 2, 99)
 		if err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}

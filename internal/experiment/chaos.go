@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"smrp/internal/core"
+	"smrp/internal/eventsim"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/protocol"
+	"smrp/internal/runner"
+	"smrp/internal/topology"
+)
+
+// ChaosResult aggregates the multi-failure chaos harness: seeded random
+// failure schedules (overlapping link/node failures, SRLG bursts, full
+// partitions, repairs) played against both the algorithmic session and the
+// message-level protocol, with a structural-invariant oracle checked after
+// every event. A healthy implementation reports zero violations.
+type ChaosResult struct {
+	Trials   int
+	Events   int
+	Failures int
+	Repairs  int
+
+	// Core-session accounting across all trials.
+	Disconnections int // members cut off by some failure event
+	Recovered      int // members re-grafted by a local detour
+	Parks          int // members degraded to the parked state
+	Readmissions   int // parked members automatically re-admitted
+
+	// Protocol-level accounting.
+	Restorations  int // message-level recoveries completed
+	ParkedAtEnd   int // protocol members still parked at the horizon
+	FullyRestored int // trials whose members were all back after full repair
+
+	// Violations lists invariant-oracle failures (empty on a healthy run).
+	Violations []string
+}
+
+// Render prints the chaos summary.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos harness (%d seeded multi-failure schedules)\n", r.Trials)
+	fmt.Fprintf(&b, "  schedule: events=%d failures=%d repairs=%d\n", r.Events, r.Failures, r.Repairs)
+	fmt.Fprintf(&b, "  core:     disconnected=%d recovered=%d parked=%d readmitted=%d\n",
+		r.Disconnections, r.Recovered, r.Parks, r.Readmissions)
+	fmt.Fprintf(&b, "  protocol: restorations=%d parked-at-horizon=%d fully-restored-trials=%d\n",
+		r.Restorations, r.ParkedAtEnd, r.FullyRestored)
+	fmt.Fprintf(&b, "  invariant violations: %d\n", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 10 {
+			fmt.Fprintf(&b, "    … %d more\n", len(r.Violations)-10)
+			break
+		}
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	return b.String()
+}
+
+// chaosTrial is one schedule's outcome.
+type chaosTrial struct {
+	events, failures, repairs int
+	disconnected, recovered   int
+	parks, readmissions       int
+	restorations, parkedEnd   int
+	fullyRestored             bool
+	violations                []string
+}
+
+// chaosInvariants is the oracle: after every event the tree must be
+// structurally valid (no loops, no orphans, every branch rooted at the
+// source), must not route over any failed component, and every original
+// member must be accounted for — either on the tree or parked, never both,
+// never neither.
+func chaosInvariants(s *core.Session, members []graph.NodeID, when string) []string {
+	var v []string
+	tr := s.Tree()
+	if err := tr.Validate(); err != nil {
+		v = append(v, fmt.Sprintf("%s: tree invalid: %v", when, err))
+	}
+	mask := s.FailedMask()
+	for _, n := range tr.Nodes() {
+		if mask.NodeBlocked(n) {
+			v = append(v, fmt.Sprintf("%s: failed node %d still on tree", when, n))
+		}
+		if p, ok := tr.Parent(n); ok && p != graph.Invalid && mask.EdgeBlocked(p, n) {
+			v = append(v, fmt.Sprintf("%s: failed link %d-%d still on tree", when, p, n))
+		}
+	}
+	parked := make(map[graph.NodeID]bool)
+	for _, m := range s.Parked() {
+		parked[m] = true
+	}
+	for _, m := range members {
+		switch {
+		case tr.IsMember(m) && parked[m]:
+			v = append(v, fmt.Sprintf("%s: member %d both on-tree and parked", when, m))
+		case !tr.IsMember(m) && !parked[m]:
+			v = append(v, fmt.Sprintf("%s: member %d lost (neither on-tree nor parked)", when, m))
+		}
+	}
+	return v
+}
+
+// RunChaosCtx executes trials seeded multi-failure schedules. Each trial
+// draws a random topology and schedule, plays the schedule against a core
+// session event by event (checking the invariant oracle after every event),
+// then replays it at the message level through the protocol instance —
+// failures land mid-recovery, Join_Reqs get lost on dying links, retries
+// back off, partitioned members park and are re-admitted on repair. Trials
+// run on the parallel runner and fold in trial order, so the result is
+// bit-identical for any worker count. A cancelled ctx stops dispatch and
+// returns ctx.Err().
+func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, error) {
+	base := DefaultBase()
+	base.N = 60
+	base.NG = 12
+	pcfg := protocol.DefaultConfig()
+	pcfg.SMRP = base.SMRP
+
+	results, err := mapTrialsCtx(ctx, seed, trials, func(_ context.Context, t runner.Trial) (chaosTrial, error) {
+		rng := t.RNG
+		g, err := topology.Waxman(topology.WaxmanConfig{
+			N: base.N, Alpha: base.Alpha, Beta: base.Beta, EnsureConnected: true,
+		}, rng)
+		if err != nil {
+			return chaosTrial{}, err
+		}
+		g.EnableSPFCache()
+		source := graph.NodeID(0)
+		for n := 1; n < g.NumNodes(); n++ {
+			if g.Degree(graph.NodeID(n)) > g.Degree(source) {
+				source = graph.NodeID(n)
+			}
+		}
+		var members []graph.NodeID
+		for _, id := range rng.Sample(base.N, base.NG+1) {
+			if graph.NodeID(id) != source && len(members) < base.NG {
+				members = append(members, graph.NodeID(id))
+			}
+		}
+
+		ccfg := failure.DefaultChaosConfig()
+		sched, err := failure.RandomSchedule(g, source, members, ccfg, rng)
+		if err != nil {
+			return chaosTrial{}, err
+		}
+
+		var out chaosTrial
+		out.events = len(sched.Events)
+		out.failures = sched.NumFailures()
+		out.repairs = sched.NumRepairs()
+
+		// Phase 1: algorithmic session, event by event, oracle after each.
+		sess, err := core.NewSession(g, source, base.SMRP)
+		if err != nil {
+			return chaosTrial{}, err
+		}
+		for _, m := range members {
+			if _, err := sess.Join(m); err != nil {
+				return chaosTrial{}, fmt.Errorf("chaos: join %d: %w", m, err)
+			}
+		}
+		for k, ev := range sched.Events {
+			if len(ev.Failures) > 0 {
+				rep, err := sess.HealSet(ev.Failures)
+				if err != nil {
+					return chaosTrial{}, fmt.Errorf("chaos: heal event %d: %w", k, err)
+				}
+				out.disconnected += len(rep.Disconnected)
+				out.recovered += len(rep.RecoveryDistance)
+				out.parks += len(rep.Unrecovered)
+				out.readmissions += len(rep.Readmitted)
+			}
+			if len(ev.Repairs) > 0 {
+				rep, err := sess.Repair(ev.Repairs...)
+				if err != nil {
+					return chaosTrial{}, fmt.Errorf("chaos: repair event %d: %w", k, err)
+				}
+				out.readmissions += len(rep.Readmitted)
+			}
+			out.violations = append(out.violations,
+				chaosInvariants(sess, members, fmt.Sprintf("seed %d event %d", t.Seed, k))...)
+		}
+
+		// Phase 2: message level. The same schedule plays out in virtual
+		// time: later failures land while earlier recoveries are in flight.
+		inst, err := protocol.NewSMRPInstance(g, source, pcfg)
+		if err != nil {
+			return chaosTrial{}, err
+		}
+		for k, m := range members {
+			if err := inst.ScheduleJoin(eventsim.Time(k+1), m); err != nil {
+				return chaosTrial{}, err
+			}
+		}
+		if err := inst.InjectSchedule(sched); err != nil {
+			return chaosTrial{}, err
+		}
+		if err := inst.Run(5000); err != nil {
+			return chaosTrial{}, err
+		}
+		if err := inst.Session().Tree().Validate(); err != nil {
+			out.violations = append(out.violations,
+				fmt.Sprintf("seed %d protocol: tree invalid at horizon: %v", t.Seed, err))
+		}
+		endMask := inst.Network().Failed()
+		for _, n := range inst.Session().Tree().Nodes() {
+			if endMask.NodeBlocked(n) {
+				out.violations = append(out.violations,
+					fmt.Sprintf("seed %d protocol: failed node %d on tree at horizon", t.Seed, n))
+			}
+			if p, ok := inst.Session().Tree().Parent(n); ok && p != graph.Invalid && endMask.EdgeBlocked(p, n) {
+				out.violations = append(out.violations,
+					fmt.Sprintf("seed %d protocol: failed link %d-%d on tree at horizon", t.Seed, p, n))
+			}
+		}
+		out.restorations = len(inst.Restorations())
+		out.parkedEnd = len(inst.Parked())
+
+		// After the full repair the core mask is empty: every member must be
+		// back on the tree.
+		if sched.CumulativeMask().IsEmpty() {
+			back := true
+			for _, m := range members {
+				if !sess.Tree().IsMember(m) {
+					back = false
+					out.violations = append(out.violations,
+						fmt.Sprintf("seed %d: member %d not re-admitted after full repair", t.Seed, m))
+				}
+			}
+			out.fullyRestored = back
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChaosResult{Trials: trials}
+	for _, tr := range results {
+		res.Events += tr.events
+		res.Failures += tr.failures
+		res.Repairs += tr.repairs
+		res.Disconnections += tr.disconnected
+		res.Recovered += tr.recovered
+		res.Parks += tr.parks
+		res.Readmissions += tr.readmissions
+		res.Restorations += tr.restorations
+		res.ParkedAtEnd += tr.parkedEnd
+		if tr.fullyRestored {
+			res.FullyRestored++
+		}
+		res.Violations = append(res.Violations, tr.violations...)
+	}
+	return res, nil
+}
+
+// RunChaos is RunChaosCtx without cancellation.
+func RunChaos(trials int, seed uint64) (*ChaosResult, error) {
+	return RunChaosCtx(context.Background(), trials, seed)
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestChaosAcceptance is the PR's acceptance gate: 200 seeded multi-failure
+// schedules must produce zero invariant violations, and the aggregate must be
+// byte-identical between 1 worker and 8 workers.
+func TestChaosAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos acceptance is a long test")
+	}
+	const trials, seed = 200, 2005
+
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	SetParallelism(1)
+	seq, err := RunChaos(trials, seed)
+	if err != nil {
+		t.Fatalf("RunChaos(workers=1): %v", err)
+	}
+	SetParallelism(8)
+	par, err := RunChaos(trials, seed)
+	if err != nil {
+		t.Fatalf("RunChaos(workers=8): %v", err)
+	}
+
+	if len(seq.Violations) > 0 {
+		t.Errorf("invariant violations with 1 worker: %d", len(seq.Violations))
+		for i, v := range seq.Violations {
+			if i == 10 {
+				t.Errorf("… %d more", len(seq.Violations)-10)
+				break
+			}
+			t.Error(v)
+		}
+	}
+	if a, b := seq.Render(), par.Render(); a != b {
+		t.Errorf("chaos output differs between 1 and 8 workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", a, b)
+	}
+
+	// Sanity: the schedules actually exercised the multi-failure machinery.
+	if seq.Failures == 0 || seq.Repairs == 0 {
+		t.Errorf("degenerate schedule mix: failures=%d repairs=%d", seq.Failures, seq.Repairs)
+	}
+	if seq.Parks == 0 || seq.Readmissions == 0 {
+		t.Errorf("degraded-state machinery never exercised: parks=%d readmissions=%d", seq.Parks, seq.Readmissions)
+	}
+	if seq.Restorations == 0 {
+		t.Errorf("protocol never restored a member: restorations=%d", seq.Restorations)
+	}
+}
+
+// TestChaosCancellation verifies that a cancelled context aborts the sweep
+// with ctx.Err() instead of running all trials.
+func TestChaosCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunChaosCtx(ctx, 50, 2005); err != context.Canceled {
+		t.Fatalf("RunChaosCtx(cancelled) error = %v, want context.Canceled", err)
+	}
+}

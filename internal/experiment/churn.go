@@ -86,12 +86,17 @@ type churnRun struct {
 // on the parallel runner; per-run results fold in run order, so output is
 // identical for any worker count.
 func RunChurn(runs int, seed uint64) (*ChurnResult, error) {
+	return RunChurnCtx(context.Background(), runs, seed)
+}
+
+// RunChurnCtx is RunChurn under a caller-supplied context.
+func RunChurnCtx(ctx context.Context, runs int, seed uint64) (*ChurnResult, error) {
 	const reshapeEvery = 10
 	base := DefaultBase()
 	out := &ChurnResult{}
 	variants := churnVariants()
 
-	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*churnRun, error) {
+	runResults, err := mapTrialsCtx(ctx, seed, runs, func(_ context.Context, t runner.Trial) (*churnRun, error) {
 		r := t.Index
 		rng := topology.NewRNG(seed + uint64(r)*6151)
 		g, err := topology.Waxman(topology.WaxmanConfig{

@@ -61,10 +61,15 @@ type hierRun struct {
 // parallel runner and fold in run order (bit-identical for any worker
 // count).
 func RunHierarchy(runs int, seed uint64) (*HierResult, error) {
+	return RunHierarchyCtx(context.Background(), runs, seed)
+}
+
+// RunHierarchyCtx is RunHierarchy under a caller-supplied context.
+func RunHierarchyCtx(ctx context.Context, runs int, seed uint64) (*HierResult, error) {
 	cfg := core.DefaultConfig()
 	out := &HierResult{}
 
-	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*hierRun, error) {
+	runResults, err := mapTrialsCtx(ctx, seed, runs, func(_ context.Context, t runner.Trial) (*hierRun, error) {
 		r := t.Index
 		hr := &hierRun{}
 		rng := topology.NewRNG(seed + uint64(r)*104729)

@@ -55,12 +55,17 @@ type latencyRun struct {
 // member, and measures restoration latency. Runs execute on the parallel
 // runner and fold in run order (bit-identical for any worker count).
 func RunLatency(runs int, seed uint64) (*LatencyResult, error) {
+	return RunLatencyCtx(context.Background(), runs, seed)
+}
+
+// RunLatencyCtx is RunLatency under a caller-supplied context.
+func RunLatencyCtx(ctx context.Context, runs int, seed uint64) (*LatencyResult, error) {
 	base := DefaultBase()
 	pcfg := protocol.DefaultConfig()
 	pcfg.SMRP = base.SMRP
 
 	out := &LatencyResult{}
-	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (latencyRun, error) {
+	runResults, err := mapTrialsCtx(ctx, seed, runs, func(_ context.Context, t runner.Trial) (latencyRun, error) {
 		r := t.Index
 		rng := topology.NewRNG(seed + uint64(r)*7919)
 		g, err := topology.Waxman(topology.WaxmanConfig{

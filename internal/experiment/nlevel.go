@@ -54,10 +54,15 @@ type nlevelRun struct {
 // whole-network scope. Runs execute on the parallel runner and fold in run
 // order (bit-identical for any worker count).
 func RunNLevel(runs int, seed uint64) (*NLevelResult, error) {
+	return RunNLevelCtx(context.Background(), runs, seed)
+}
+
+// RunNLevelCtx is RunNLevel under a caller-supplied context.
+func RunNLevelCtx(ctx context.Context, runs int, seed uint64) (*NLevelResult, error) {
 	cfg := topology.DefaultNLevelConfig()
 	out := &NLevelResult{Levels: cfg.Levels}
 
-	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*nlevelRun, error) {
+	runResults, err := mapTrialsCtx(ctx, seed, runs, func(_ context.Context, t runner.Trial) (*nlevelRun, error) {
 		r := t.Index
 		nr := &nlevelRun{}
 		rng := topology.NewRNG(seed + uint64(r)*32452843)

@@ -42,7 +42,13 @@ func runnerConfig(seed uint64) runner.Config {
 // parallelism setting. Results come back ordered by trial index, so callers
 // fold them sequentially and stay bit-deterministic for any worker count.
 func mapTrials[T any](seed uint64, n int, fn runner.Func[T]) ([]T, error) {
-	return runner.Map(context.Background(), runnerConfig(seed), n, fn)
+	return mapTrialsCtx(context.Background(), seed, n, fn)
+}
+
+// mapTrialsCtx is mapTrials under a caller-supplied context: a cancelled ctx
+// stops dispatching new trials and surfaces ctx.Err().
+func mapTrialsCtx[T any](ctx context.Context, seed uint64, n int, fn runner.Func[T]) ([]T, error) {
+	return runner.Map(ctx, runnerConfig(seed), n, fn)
 }
 
 // Merge folds other into a, preserving other's internal sample order after

@@ -68,9 +68,14 @@ type protRun struct {
 // execute on the parallel runner and fold in run order (bit-identical for any
 // worker count).
 func RunProtection(runs int, seed uint64) (*ProtectionResult, error) {
+	return RunProtectionCtx(context.Background(), runs, seed)
+}
+
+// RunProtectionCtx is RunProtection under a caller-supplied context.
+func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionResult, error) {
 	out := &ProtectionResult{}
 
-	runResults, err := mapTrials(seed, runs, func(_ context.Context, t runner.Trial) (*protRun, error) {
+	runResults, err := mapTrialsCtx(ctx, seed, runs, func(_ context.Context, t runner.Trial) (*protRun, error) {
 		r := t.Index
 		pr := &protRun{}
 		rng := topology.NewRNG(seed + uint64(r)*15485863)

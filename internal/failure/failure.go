@@ -105,7 +105,7 @@ func WorstCaseFor(t *multicast.Tree, m graph.NodeID) (Failure, error) {
 		return Failure{}, err
 	}
 	if len(p) < 2 {
-		return Failure{}, fmt.Errorf("worst case for %d: member is the source", m)
+		return Failure{}, fmt.Errorf("worst case for %d: %w: member is the source", m, ErrNotDisconnected)
 	}
 	// p runs member→…→source; the source-incident link is the last hop.
 	return LinkDown(p[len(p)-1], p[len(p)-2]), nil
@@ -165,7 +165,7 @@ func LocalDetour(t *multicast.Tree, mask *graph.Mask, m graph.NodeID) (graph.Pat
 		return nil, 0, fmt.Errorf("local detour for %d: %w", m, ErrNotDisconnected)
 	}
 	if mask.NodeBlocked(m) {
-		return nil, 0, fmt.Errorf("local detour for %d: member itself failed", m)
+		return nil, 0, fmt.Errorf("local detour for %d: %w", m, ErrMemberFailed)
 	}
 	node, p, d := t.Graph().NearestOf(m, mask, func(n graph.NodeID) bool { return surviving[n] })
 	if node == graph.Invalid {
@@ -189,7 +189,7 @@ func GlobalDetour(t *multicast.Tree, mask *graph.Mask, m graph.NodeID) (graph.Pa
 		return nil, 0, fmt.Errorf("global detour for %d: %w", m, ErrNotDisconnected)
 	}
 	if mask.NodeBlocked(m) {
-		return nil, 0, fmt.Errorf("global detour for %d: member itself failed", m)
+		return nil, 0, fmt.Errorf("global detour for %d: %w", m, ErrMemberFailed)
 	}
 	g := t.Graph()
 	p, _ := g.ShortestPath(m, t.Source(), mask)

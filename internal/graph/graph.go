@@ -9,6 +9,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -94,6 +95,11 @@ type Graph struct {
 	csr atomic.Pointer[csrView]
 }
 
+// ErrUnknownNode is returned when an operation names a node the graph does
+// not contain. Higher layers (core, spfbase, hierarchy) wrap it, so
+// errors.Is(err, graph.ErrUnknownNode) matches across the whole stack.
+var ErrUnknownNode = errors.New("graph: unknown node")
+
 // New returns a graph with n nodes (IDs 0..n-1) and no edges. Node positions
 // default to the origin.
 func New(n int) *Graph {
@@ -143,7 +149,7 @@ func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.adj) }
 // not a positive finite number, or the edge already exists.
 func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	if !g.valid(u) || !g.valid(v) {
-		return fmt.Errorf("add edge %d-%d: unknown endpoint", u, v)
+		return fmt.Errorf("add edge %d-%d: %w", u, v, ErrUnknownNode)
 	}
 	if u == v {
 		return fmt.Errorf("add edge: self-loop at node %d", u)

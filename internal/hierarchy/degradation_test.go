@@ -1,0 +1,122 @@
+package hierarchy
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"smrp/internal/core"
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+)
+
+// TestDomainDownRepairRevive drives the hierarchy through the degraded-domain
+// state machine: failing a stub's agent (its gateway) suspends the whole
+// domain, its members park as a group, and repairing the agent revives the
+// domain and re-admits them automatically.
+func TestDomainDownRepairRevive(t *testing.T) {
+	ts, src := buildTS(t, 3)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := pickMembers(ts, src, 8)
+	for _, m := range members {
+		if err := s.Join(m); err != nil {
+			t.Fatalf("Join(%d) = %v", m, err)
+		}
+	}
+
+	// Pick a member outside the source's domain; its stub's gateway is the
+	// domain agent we will fail.
+	srcDom := ts.DomainOf(src)
+	var victim graph.NodeID = graph.Invalid
+	for _, m := range members {
+		if d := ts.DomainOf(m); d.ID != srcDom.ID && m != d.Gateway {
+			victim = m
+			break
+		}
+	}
+	if victim == graph.Invalid {
+		t.Fatal("no member outside the source domain")
+	}
+	dom := ts.DomainOf(victim)
+	agent := dom.Gateway
+
+	reports, err := s.RecoverSet([]failure.Failure{failure.NodeDown(agent)})
+	if err != nil {
+		t.Fatalf("RecoverSet(NodeDown agent) = %v", err)
+	}
+	var domainDown bool
+	for _, r := range reports {
+		if r.DomainID == dom.ID && r.DomainDown {
+			domainDown = true
+		}
+	}
+	if !domainDown {
+		t.Fatalf("agent failure did not mark domain %d down; reports: %+v", dom.ID, reports)
+	}
+	// Every member of the down domain is degraded as a group.
+	parked := s.Parked()
+	for _, m := range members {
+		if ts.DomainOf(m).ID == dom.ID {
+			if !slices.Contains(parked, m) {
+				t.Errorf("member %d of down domain %d not parked (parked = %v)", m, dom.ID, parked)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("degraded hierarchy invalid: %v", err)
+	}
+
+	// While the agent is down, further failures inside the domain must
+	// accumulate silently (DomainDown again), not error out.
+	reports, err = s.RecoverSet([]failure.Failure{failure.NodeDown(victim)})
+	if err != nil {
+		t.Fatalf("RecoverSet while domain down = %v", err)
+	}
+	for _, r := range reports {
+		if r.DomainID == dom.ID && !r.DomainDown {
+			t.Fatalf("domain %d should still be down: %+v", dom.ID, r)
+		}
+	}
+
+	// Repair both: the agent revives the domain; the victim's own failure is
+	// lifted with it, so every parked member of the domain is re-admitted.
+	sum, err := s.Repair(failure.NodeDown(agent), failure.NodeDown(victim))
+	if err != nil {
+		t.Fatalf("Repair = %v", err)
+	}
+	if !slices.Contains(sum.Revived, dom.ID) {
+		t.Fatalf("Revived = %v, want to contain %d", sum.Revived, dom.ID)
+	}
+	if len(sum.StillParked) != 0 {
+		t.Fatalf("StillParked = %v, want empty", sum.StillParked)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("revived hierarchy invalid: %v", err)
+	}
+	for _, m := range members {
+		if _, err := s.EndToEndDelay(m); err != nil {
+			t.Errorf("EndToEndDelay(%d) after revival = %v", m, err)
+		}
+	}
+}
+
+// TestHierarchyErrorIdentity pins the typed sentinels of the hierarchy API.
+func TestHierarchyErrorIdentity(t *testing.T) {
+	ts, src := buildTS(t, 4)
+	s, err := New(ts, src, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RecoverSet(nil); !errors.Is(err, failure.ErrBadSchedule) {
+		t.Errorf("RecoverSet(nil) = %v, want ErrBadSchedule", err)
+	}
+	if _, err := s.RecoverSet([]failure.Failure{{Kind: failure.Kind(99)}}); !errors.Is(err, ErrFailureOutsideDomains) {
+		t.Errorf("RecoverSet(bad kind) = %v, want ErrFailureOutsideDomains", err)
+	}
+	if err := s.Join(graph.NodeID(ts.Graph.NumNodes() + 5)); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Join(out of range) = %v, want ErrUnknownNode", err)
+	}
+}

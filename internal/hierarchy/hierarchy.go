@@ -30,6 +30,9 @@ var (
 	// ErrFailureOutsideDomains is returned when a failure touches no domain
 	// (cannot happen on well-formed transit–stub inputs).
 	ErrFailureOutsideDomains = errors.New("hierarchy: failure outside all recovery domains")
+	// ErrUnsupportedFailure is returned when a recovery model cannot
+	// attribute the given failure kind to a domain.
+	ErrUnsupportedFailure = errors.New("hierarchy: failure kind not supported")
 )
 
 // domainSession is one recovery domain's sub-multicast tree, built over the
@@ -162,7 +165,7 @@ func (d *domainSession) isMember(n graph.NodeID) bool {
 // level-0 tree the first time the domain gains a member.
 func (s *Session) Join(n graph.NodeID) error {
 	if s.members[n] {
-		return fmt.Errorf("hierarchy: %d already a member", n)
+		return fmt.Errorf("hierarchy: join %d: %w", n, core.ErrAlreadyMember)
 	}
 	d := s.ts.DomainOf(n)
 	if d == nil {
@@ -191,7 +194,7 @@ func (s *Session) Join(n graph.NodeID) error {
 // its domain empties.
 func (s *Session) Leave(n graph.NodeID) error {
 	if !s.members[n] {
-		return fmt.Errorf("hierarchy: %d is not a member", n)
+		return fmt.Errorf("hierarchy: leave %d: %w", n, core.ErrNotMember)
 	}
 	d := s.ts.DomainOf(n)
 	if d == nil {
@@ -275,58 +278,25 @@ type RecoveryReport struct {
 	// other domain is untouched, which is the scalability argument of
 	// §3.3.3.
 	NodesInDomain int
+	// DomainDown reports that the domain's own agent is down: recovery
+	// there is suspended (Heal is nil) and its members are degraded as a
+	// group until a Repair revives the agent.
+	DomainDown bool
 }
 
-// Recover handles a link failure: the domain containing the failed link
-// heals its own sub-tree with local detours; every other domain is left
-// untouched. Cross-domain uplink failures (stub gateway ↔ transit) are
-// handled in the level-0 domain.
+// Recover handles one failure: each domain the failure touches heals its own
+// sub-tree with local detours; every other domain is left untouched. A link
+// inside a stub is that stub's problem; cross-domain uplinks (stub gateway ↔
+// transit) and transit links are handled in the level-0 domain; a node
+// failure hits the node's own domain (a gateway failure additionally hits
+// level 0). When the failure touches several domains (a gateway crash), the
+// stub-level report is returned; RecoverSet exposes the full list.
 func (s *Session) Recover(f failure.Failure) (*RecoveryReport, error) {
-	if f.Kind != failure.LinkFailure {
-		return nil, errors.New("hierarchy: only link failures are domain-attributable in this model")
-	}
-	du := s.ts.DomainOf(f.Edge.A)
-	dv := s.ts.DomainOf(f.Edge.B)
-	if du == nil || dv == nil {
-		return nil, ErrFailureOutsideDomains
-	}
-
-	// Same stub domain → level-1 recovery there; anything touching the
-	// transit core or crossing domains → level-0 recovery.
-	if du.Kind == topology.StubDomain && dv.Kind == topology.StubDomain && du.ID == dv.ID {
-		ds := s.stubs[du.ID]
-		rep, err := s.healDomain(ds, f)
-		if err != nil {
-			return nil, err
-		}
-		return &RecoveryReport{
-			DomainID:      du.ID,
-			Level:         1,
-			Heal:          rep,
-			NodesInDomain: len(s.ts.Stubs[indexOfStub(s.ts, du.ID)].Nodes),
-		}, nil
-	}
-	rep, err := s.healDomain(s.top, f)
+	reports, err := s.RecoverSet([]failure.Failure{f})
 	if err != nil {
 		return nil, err
 	}
-	return &RecoveryReport{
-		DomainID:      -1,
-		Level:         0,
-		Heal:          rep,
-		NodesInDomain: len(s.ts.Transit.Nodes) + len(s.ts.Stubs),
-	}, nil
-}
-
-// healDomain translates the failure into the domain's ID space and heals
-// the sub-session.
-func (s *Session) healDomain(ds *domainSession, f failure.Failure) (*core.HealReport, error) {
-	a, okA := ds.nm.ToSub(f.Edge.A)
-	b, okB := ds.nm.ToSub(f.Edge.B)
-	if !okA || !okB {
-		return nil, fmt.Errorf("hierarchy: failure %v not inside domain %d", f, ds.id)
-	}
-	return ds.session.Heal(failure.LinkDown(a, b))
+	return reports[0], nil
 }
 
 // indexOfStub finds the slice index of the stub with the given domain ID.
@@ -358,7 +328,7 @@ func (s *Session) Validate() error {
 // stub tree.
 func (s *Session) EndToEndDelay(m graph.NodeID) (float64, error) {
 	if !s.members[m] {
-		return 0, fmt.Errorf("hierarchy: %d is not a member", m)
+		return 0, fmt.Errorf("hierarchy: delay %d: %w", m, core.ErrNotMember)
 	}
 	d := s.ts.DomainOf(m)
 	srcDomain := s.ts.DomainOf(s.source)

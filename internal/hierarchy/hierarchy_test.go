@@ -272,14 +272,22 @@ func TestCoreRecoveryLevel0(t *testing.T) {
 	}
 }
 
-func TestRecoverRejectsNodeFailure(t *testing.T) {
+func TestRecoverNodeFailure(t *testing.T) {
 	ts, src := buildTS(t, 6)
 	s, err := New(ts, src, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Recover(failure.NodeDown(0)); err == nil {
-		t.Error("node failures are not domain-attributable in this model")
+	// A transit-node failure is attributed to the level-0 domain.
+	rep, err := s.Recover(failure.NodeDown(ts.Transit.Nodes[len(ts.Transit.Nodes)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Level != 0 || rep.DomainID != -1 {
+		t.Errorf("recovery level = %d domain %d, want level 0", rep.Level, rep.DomainID)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

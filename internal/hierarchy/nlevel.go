@@ -257,7 +257,7 @@ func (s *NLevelSession) delayIn(d int, n graph.NodeID) (float64, error) {
 // other domains are untouched.
 func (s *NLevelSession) Recover(f failure.Failure) (*RecoveryReport, error) {
 	if f.Kind != failure.LinkFailure {
-		return nil, errors.New("hierarchy: only link failures are domain-attributable in this model")
+		return nil, fmt.Errorf("%w in the N-level model (only link failures are domain-attributable)", ErrUnsupportedFailure)
 	}
 	du := s.topo.DomainOf(f.Edge.A)
 	dv := s.topo.DomainOf(f.Edge.B)

@@ -1,0 +1,280 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// This file extends §3.3.3's domain-confined recovery to the multi-failure
+// regime: correlated batches that straddle domains, node failures (including
+// a domain's own agent), graceful domain-wide degradation while an agent is
+// down, and repair-driven revival with automatic re-admission. The
+// single-failure Recover in hierarchy.go delegates here.
+
+// attribution pairs a recovery domain with a failure translated into the
+// domain's local ID space.
+type attribution struct {
+	ds    *domainSession
+	local failure.Failure
+}
+
+// attribute maps f onto every recovery domain it touches. Link failures
+// follow the paper's rule: a link inside one stub is that stub's problem;
+// anything touching the transit core or crossing domains is handled at
+// level 0. A node failure hits the node's own domain; a gateway failure
+// additionally hits the level-0 domain, where the node doubles as the
+// stub's agent.
+func (s *Session) attribute(f failure.Failure) ([]attribution, error) {
+	switch f.Kind {
+	case failure.LinkFailure:
+		du := s.ts.DomainOf(f.Edge.A)
+		dv := s.ts.DomainOf(f.Edge.B)
+		if du == nil || dv == nil {
+			return nil, ErrFailureOutsideDomains
+		}
+		if du.Kind == topology.StubDomain && dv.Kind == topology.StubDomain && du.ID == dv.ID {
+			ds := s.stubs[du.ID]
+			a, okA := ds.nm.ToSub(f.Edge.A)
+			b, okB := ds.nm.ToSub(f.Edge.B)
+			if !okA || !okB {
+				return nil, fmt.Errorf("hierarchy: link %v not inside stub %d: %w", f, du.ID, ErrFailureOutsideDomains)
+			}
+			return []attribution{{ds, failure.LinkDown(a, b)}}, nil
+		}
+		a, okA := s.top.nm.ToSub(f.Edge.A)
+		b, okB := s.top.nm.ToSub(f.Edge.B)
+		if !okA || !okB {
+			return nil, fmt.Errorf("hierarchy: link %v not visible at level 0: %w", f, ErrFailureOutsideDomains)
+		}
+		return []attribution{{s.top, failure.LinkDown(a, b)}}, nil
+
+	case failure.NodeFailure:
+		d := s.ts.DomainOf(f.Node)
+		if d == nil {
+			return nil, ErrFailureOutsideDomains
+		}
+		if d.Kind == topology.TransitDomain {
+			sub, ok := s.top.nm.ToSub(f.Node)
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: transit node %d not visible at level 0: %w", f.Node, ErrFailureOutsideDomains)
+			}
+			return []attribution{{s.top, failure.NodeDown(sub)}}, nil
+		}
+		ds := s.stubs[d.ID]
+		sub, ok := ds.nm.ToSub(f.Node)
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: node %d not inside stub %d: %w", f.Node, d.ID, ErrFailureOutsideDomains)
+		}
+		atts := []attribution{{ds, failure.NodeDown(sub)}}
+		if f.Node == d.Gateway {
+			if topSub, ok := s.top.nm.ToSub(f.Node); ok {
+				atts = append(atts, attribution{s.top, failure.NodeDown(topSub)})
+			}
+		}
+		return atts, nil
+
+	default:
+		return nil, fmt.Errorf("hierarchy: failure kind %v: %w", f.Kind, ErrFailureOutsideDomains)
+	}
+}
+
+// down reports whether the domain's own root — the stub's agent, or the
+// source relay for the level-0 domain — is blocked by the domain's
+// accumulated failure mask. A down domain suspends recovery: its members are
+// degraded as a group until a repair revives the root.
+func (d *domainSession) down() bool {
+	return d.session.FailedMask().NodeBlocked(d.session.Tree().Source())
+}
+
+// domainByID resolves a recovery-domain ID (-1 = level-0 core).
+func (s *Session) domainByID(id int) *domainSession {
+	if id == -1 {
+		return s.top
+	}
+	return s.stubs[id]
+}
+
+// domainSize is the number of routers that must react when domain id heals.
+func (s *Session) domainSize(id int) int {
+	if id == -1 {
+		return len(s.ts.Transit.Nodes) + len(s.ts.Stubs)
+	}
+	return len(s.ts.Stubs[indexOfStub(s.ts, id)].Nodes)
+}
+
+// sortDomainIDs orders recovery domains deterministically: stubs ascending,
+// the level-0 core (-1) last, so stub-local damage is resolved before the
+// core reacts to agent changes.
+func sortDomainIDs(ids []int) {
+	slices.SortFunc(ids, func(a, b int) int {
+		switch {
+		case a == b:
+			return 0
+		case a == -1:
+			return 1
+		case b == -1:
+			return -1
+		case a < b:
+			return -1
+		default:
+			return 1
+		}
+	})
+}
+
+// groupByDomain attributes every failure and groups the translated failures
+// per recovery domain, returning the touched domain IDs in heal order.
+func (s *Session) groupByDomain(fs []failure.Failure) (map[int][]failure.Failure, []int, error) {
+	per := make(map[int][]failure.Failure)
+	for _, f := range fs {
+		atts, err := s.attribute(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, a := range atts {
+			per[a.ds.id] = append(per[a.ds.id], a.local)
+		}
+	}
+	ids := make([]int, 0, len(per))
+	for id := range per {
+		ids = append(ids, id)
+	}
+	sortDomainIDs(ids)
+	return per, ids, nil
+}
+
+// RecoverSet handles a correlated failure batch (an SRLG cut): each failure
+// is attributed to the recovery domain(s) it touches, and every touched
+// domain heals its own sub-tree — all other domains are untouched, which is
+// the scalability argument of §3.3.3. Domains whose agent is (or goes) down
+// degrade gracefully: recovery there is suspended, the failures keep
+// accumulating in the domain's mask, and the report carries DomainDown; a
+// later Repair that revives the agent reconciles the domain automatically.
+func (s *Session) RecoverSet(fs []failure.Failure) ([]*RecoveryReport, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("hierarchy: recover: %w: empty failure set", failure.ErrBadSchedule)
+	}
+	per, ids, err := s.groupByDomain(fs)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*RecoveryReport
+	for _, id := range ids {
+		ds := s.domainByID(id)
+		rep := &RecoveryReport{DomainID: id, Level: 1, NodesInDomain: s.domainSize(id)}
+		if id == -1 {
+			rep.Level = 0
+		}
+		if ds.down() {
+			// Agent already down: recovery stays suspended, but the failures
+			// must still accumulate so revival reconciles against all of them.
+			ds.session.ApplyFailure(per[id]...)
+			rep.DomainDown = true
+			reports = append(reports, rep)
+			continue
+		}
+		heal, err := ds.session.HealSet(per[id])
+		if err != nil {
+			if errors.Is(err, failure.ErrSourceFailed) {
+				// The domain's own agent just failed. HealSet has already
+				// folded the batch into the mask; the domain degrades as a
+				// group (see Parked) until a repair revives the agent.
+				rep.DomainDown = true
+				reports = append(reports, rep)
+				continue
+			}
+			return nil, fmt.Errorf("hierarchy: heal domain %d: %w", id, err)
+		}
+		rep.Heal = heal
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// RepairSummary describes a hierarchy-level repair: which domains came back
+// from the degraded state and which receivers were re-admitted.
+type RepairSummary struct {
+	// Repaired lists the components restored.
+	Repaired []failure.Failure
+	// Revived lists recovery domains whose agent came back up (and whose
+	// sub-tree was reconciled against everything that failed while it was
+	// down), stub IDs ascending, -1 (the core) last.
+	Revived []int
+	// Readmitted lists receivers re-admitted somewhere in the hierarchy by
+	// this repair, ascending (full-graph IDs).
+	Readmitted []graph.NodeID
+	// StillParked lists receivers that remain degraded afterwards.
+	StillParked []graph.NodeID
+}
+
+// Repair restores failed components across the hierarchy. Each touched
+// domain lifts the repairs from its mask and automatically re-admits the
+// members the repair reconnects; a domain whose agent comes back is
+// reconciled against every failure that accumulated while it was down.
+func (s *Session) Repair(fs ...failure.Failure) (*RepairSummary, error) {
+	sum := &RepairSummary{Repaired: fs}
+	per, ids, err := s.groupByDomain(fs)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		ds := s.domainByID(id)
+		wasDown := ds.down()
+		rep, err := ds.session.Repair(per[id]...)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: repair domain %d: %w", id, err)
+		}
+		for _, m := range rep.Readmitted {
+			if full, ok := ds.nm.ToFull(m); ok && s.members[full] {
+				sum.Readmitted = append(sum.Readmitted, full)
+			}
+		}
+		if wasDown && !ds.down() {
+			// The agent is back: reconcile the domain tree against whatever
+			// else failed while it was suspended.
+			if _, err := ds.session.Reconcile(); err != nil {
+				return nil, fmt.Errorf("hierarchy: revive domain %d: %w", id, err)
+			}
+			sum.Revived = append(sum.Revived, id)
+		}
+	}
+	slices.Sort(sum.Readmitted)
+	sum.StillParked = s.Parked()
+	return sum, nil
+}
+
+// Parked lists the receivers currently degraded, ascending: members parked
+// inside their stub session, members of a down domain, and members whose
+// cross-domain delivery is cut because their agent is unreachable at
+// level 0 (or the level-0 domain itself is down).
+func (s *Session) Parked() []graph.NodeID {
+	srcDomain := s.ts.DomainOf(s.source)
+	topDown := s.top.down()
+	out := make([]graph.NodeID, 0)
+	for m := range s.members {
+		d := s.ts.DomainOf(m)
+		ds := s.stubs[d.ID]
+		switch {
+		case ds.down():
+			out = append(out, m)
+		case parkedIn(ds, m):
+			out = append(out, m)
+		case d.ID != srcDomain.ID && (topDown || parkedIn(s.top, ds.agent)):
+			out = append(out, m)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// parkedIn reports whether full-graph node n is parked inside domain d's
+// sub-session.
+func parkedIn(d *domainSession, n graph.NodeID) bool {
+	sub, ok := d.nm.ToSub(n)
+	return ok && d.session.IsParked(sub)
+}

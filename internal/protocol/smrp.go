@@ -10,7 +10,17 @@ import (
 	"smrp/internal/failure"
 	"smrp/internal/graph"
 	"smrp/internal/routing"
+	"smrp/internal/topology"
 	"smrp/internal/trace"
+)
+
+// Sentinel errors returned by protocol scheduling and validation.
+var (
+	// ErrBadConfig is wrapped by every Config.Validate error.
+	ErrBadConfig = errors.New("protocol: invalid configuration")
+	// ErrPastEvent is wrapped when an event is scheduled before the
+	// simulator's current virtual time.
+	ErrPastEvent = errors.New("protocol: event scheduled in the past")
 )
 
 // Config parameterizes a protocol instance.
@@ -21,6 +31,24 @@ type Config struct {
 	// state survives without refresh (HoldTime > RefreshInterval).
 	RefreshInterval eventsim.Time
 	HoldTime        eventsim.Time
+
+	// RetryTimeout is how long a recovering member waits before re-detouring
+	// after its Join_Req is lost on a link that died while the request was in
+	// flight (the multi-failure case). 0 defaults to RefreshInterval.
+	RetryTimeout eventsim.Time
+	// RetryBackoff is the per-attempt multiplier of RetryTimeout (bounded
+	// exponential backoff, capped at HoldTime). Values < 1 default to 2.
+	RetryBackoff float64
+	// MaxRetries caps re-detour attempts per recovery episode; an exhausted
+	// member parks until a repair. 0 defaults to 10.
+	MaxRetries int
+	// RetryJitter is the maximum deterministic jitter added to each retry
+	// delay, drawn from a stream seeded by JitterSeed. The stream is consumed
+	// only on actual retries, so failure-free runs are byte-identical
+	// regardless of the seed. 0 disables jitter.
+	RetryJitter eventsim.Time
+	// JitterSeed seeds the jitter stream. 0 defaults to 1.
+	JitterSeed uint64
 }
 
 // DefaultConfig returns the protocol defaults used by the examples and the
@@ -31,7 +59,30 @@ func DefaultConfig() Config {
 		Routing:         routing.DefaultConfig(),
 		RefreshInterval: 5,
 		HoldTime:        16,
+		RetryTimeout:    5,
+		RetryBackoff:    2,
+		MaxRetries:      10,
+		RetryJitter:     0.5,
+		JitterSeed:      1,
 	}
+}
+
+// withRecoveryDefaults fills zero-valued retry knobs so configurations built
+// by hand (struct literals predating the retry fields) keep working.
+func (c Config) withRecoveryDefaults() Config {
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = c.RefreshInterval
+	}
+	if c.RetryBackoff < 1 {
+		c.RetryBackoff = 2
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	return c
 }
 
 // Validate reports whether the configuration is usable.
@@ -43,7 +94,10 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.RefreshInterval <= 0 || c.HoldTime <= c.RefreshInterval {
-		return errors.New("protocol: need 0 < RefreshInterval < HoldTime")
+		return fmt.Errorf("%w: need 0 < RefreshInterval < HoldTime", ErrBadConfig)
+	}
+	if c.RetryTimeout < 0 || c.RetryBackoff < 0 || c.MaxRetries < 0 || c.RetryJitter < 0 {
+		return fmt.Errorf("%w: retry knobs must be non-negative", ErrBadConfig)
 	}
 	return nil
 }
@@ -81,6 +135,13 @@ type SMRPInstance struct {
 	failedAt     eventsim.Time
 	auditArmed   bool
 	trace        *trace.Log
+	// parked holds members whose recovery exhausted its options (no residual
+	// path, or retries ran out): they degrade gracefully and wait for a
+	// repair to re-admit them.
+	parked map[graph.NodeID]bool
+	// jitter is the deterministic retry-jitter stream; it is consumed only
+	// when a retry actually fires.
+	jitter *topology.RNG
 }
 
 // SetTrace installs an event log (nil disables tracing).
@@ -91,6 +152,7 @@ func NewSMRPInstance(g *graph.Graph, source graph.NodeID, cfg Config) (*SMRPInst
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withRecoveryDefaults()
 	engine := eventsim.NewEngine()
 	dom, err := routing.NewDomain(g, cfg.Routing)
 	if err != nil {
@@ -110,6 +172,8 @@ func NewSMRPInstance(g *graph.Graph, source graph.NodeID, cfg Config) (*SMRPInst
 		refreshGen:   make(map[graph.NodeID]int),
 		silenced:     make(map[graph.NodeID]bool),
 		restorations: make(map[graph.NodeID]Restoration),
+		parked:       make(map[graph.NodeID]bool),
+		jitter:       topology.NewRNG(cfg.JitterSeed),
 	}
 	// Every node accepts control messages; decisions are delegated to the
 	// control-plane oracle, so handlers only account for delivery.
@@ -136,7 +200,7 @@ func (i *SMRPInstance) Run(until eventsim.Time) error { return i.engine.Run(unti
 // configured); the graft completes when the Join_Req reaches the merger.
 func (i *SMRPInstance) ScheduleJoin(at eventsim.Time, m graph.NodeID) error {
 	if at < i.engine.Now() {
-		return fmt.Errorf("protocol: join of %d scheduled in the past", m)
+		return fmt.Errorf("join of %d: %w", m, ErrPastEvent)
 	}
 	_, err := i.engine.Schedule(at-i.engine.Now(), func() { i.startJoin(m) })
 	return err
@@ -267,7 +331,7 @@ func (i *SMRPInstance) armAudit() {
 // passes without a refresh.
 func (i *SMRPInstance) SilenceMember(at eventsim.Time, m graph.NodeID) error {
 	if at < i.engine.Now() {
-		return fmt.Errorf("protocol: silence of %d scheduled in the past", m)
+		return fmt.Errorf("silence of %d: %w", m, ErrPastEvent)
 	}
 	_, err := i.engine.Schedule(at-i.engine.Now(), func() { i.silenced[m] = true })
 	return err
@@ -291,7 +355,7 @@ func (i *SMRPInstance) LastRefresh(m graph.NodeID) (eventsim.Time, bool) {
 // member's branch before state is released.
 func (i *SMRPInstance) ScheduleLeave(at eventsim.Time, m graph.NodeID) error {
 	if at < i.engine.Now() {
-		return fmt.Errorf("protocol: leave of %d scheduled in the past", m)
+		return fmt.Errorf("leave of %d: %w", m, ErrPastEvent)
 	}
 	_, err := i.engine.Schedule(at-i.engine.Now(), func() {
 		tr := i.session.Tree()
@@ -313,23 +377,27 @@ func (i *SMRPInstance) ScheduleLeave(at eventsim.Time, m graph.NodeID) error {
 // virtual time; per-member restoration latencies are recorded.
 func (i *SMRPInstance) InjectFailure(at eventsim.Time, f failure.Failure) error {
 	if at < i.engine.Now() {
-		return errors.New("protocol: failure scheduled in the past")
+		return fmt.Errorf("failure: %w", ErrPastEvent)
 	}
-	_, err := i.engine.Schedule(at-i.engine.Now(), func() { i.onFailure(f) })
+	_, err := i.engine.Schedule(at-i.engine.Now(), func() { i.onFailureSet([]failure.Failure{f}) })
 	return err
 }
 
-// onFailure applies the failure and starts SMRP's recovery machinery.
-func (i *SMRPInstance) onFailure(f failure.Failure) {
+// onFailureSet applies a correlated failure batch atomically and starts
+// SMRP's recovery machinery against the accumulated mask, so detours never
+// route over a sibling cut discovered one step later.
+func (i *SMRPInstance) onFailureSet(fs []failure.Failure) {
 	i.failedAt = i.engine.Now()
-	i.trace.Add(i.engine.Now(), trace.CatFailure, graph.Invalid, "%v injected", f)
-	switch f.Kind {
-	case failure.LinkFailure:
-		i.net.FailLink(f.Edge.A, f.Edge.B)
-	case failure.NodeFailure:
-		i.net.FailNode(f.Node)
+	for _, f := range fs {
+		i.trace.Add(i.engine.Now(), trace.CatFailure, graph.Invalid, "%v injected", f)
+		switch f.Kind {
+		case failure.LinkFailure:
+			i.net.FailLink(f.Edge.A, f.Edge.B)
+		case failure.NodeFailure:
+			i.net.FailNode(f.Node)
+		}
+		i.domain.ApplyFailure(f)
 	}
-	i.domain.ApplyFailure(f)
 
 	mask := i.net.Failed()
 	tr := i.session.Tree()
@@ -409,7 +477,8 @@ func (i *SMRPInstance) recoverMember(m graph.NodeID, mask *graph.Mask) {
 	detectedAt := i.engine.Now()
 	_, rd, ok := i.detourFor(m, mask)
 	if !ok {
-		return // unrecoverable
+		i.park(m) // unrecoverable until a repair
+		return
 	}
 	// Discovery: query out + response back along the detour.
 	i.net.Sent++ // query message
@@ -418,14 +487,19 @@ func (i *SMRPInstance) recoverMember(m graph.NodeID, mask *graph.Mask) {
 	})
 }
 
-// maxRecoveryRetries bounds re-resolution when concurrent grafts collide.
+// maxRecoveryRetries bounds re-resolution when concurrent grafts collide
+// (the SPF baseline's fixed cap; SMRP instances use Config.MaxRetries).
 const maxRecoveryRetries = 10
 
 // completeRecovery re-resolves the detour (the tree may have grown through
 // other members' recoveries) and grafts the member when the Join_Req lands.
 func (i *SMRPInstance) completeRecovery(m graph.NodeID, detectedAt eventsim.Time, mask *graph.Mask, attempt int) {
 	tr := i.session.Tree()
-	if tr.IsMember(m) || attempt > maxRecoveryRetries {
+	if tr.IsMember(m) {
+		return
+	}
+	if attempt > i.cfg.MaxRetries {
+		i.park(m) // retry budget exhausted; wait for a repair
 		return
 	}
 	if tr.OnTree(m) {
@@ -434,6 +508,7 @@ func (i *SMRPInstance) completeRecovery(m graph.NodeID, detectedAt eventsim.Time
 		if err := i.session.RecoverGraft(graph.Path{m}); err != nil {
 			return
 		}
+		delete(i.parked, m)
 		i.restorations[m] = Restoration{
 			Member:     m,
 			DetectedAt: detectedAt,
@@ -445,6 +520,7 @@ func (i *SMRPInstance) completeRecovery(m graph.NodeID, detectedAt eventsim.Time
 	}
 	detour, rd, ok := i.detourFor(m, mask)
 	if !ok {
+		i.park(m) // no residual path left
 		return
 	}
 	i.engine.MustSchedule(eventsim.Time(rd), func() {
@@ -455,19 +531,27 @@ func (i *SMRPInstance) completeRecovery(m graph.NodeID, detectedAt eventsim.Time
 
 // graftDetour applies the detour graft on the oracle tree and records the
 // restoration. If a concurrent graft invalidated the path, the recovery is
-// re-resolved immediately against the current tree.
+// re-resolved immediately against the current tree. If the detour itself was
+// cut while the Join_Req was in flight (a later failure of the multi-failure
+// regime), the request was lost on the dead link: the member re-detours
+// after a bounded-exponential-backoff timeout with deterministic jitter.
 func (i *SMRPInstance) graftDetour(m graph.NodeID, detour graph.Path, rd float64, detectedAt eventsim.Time, attempt int) {
 	tr := i.session.Tree()
 	if tr.IsMember(m) {
 		return
 	}
+	if i.detourCut(detour) {
+		i.scheduleRetry(m, detectedAt, attempt)
+		return
+	}
 	// detour runs m→…→survivor; grafting wants survivor→…→m.
 	if err := i.session.RecoverGraft(detour.Reverse()); err != nil {
-		if tr.OnTree(m) || attempt < maxRecoveryRetries {
+		if tr.OnTree(m) || attempt < i.cfg.MaxRetries {
 			i.completeRecovery(m, detectedAt, i.net.Failed(), attempt+1)
 		}
 		return
 	}
+	delete(i.parked, m)
 	i.restorations[m] = Restoration{
 		Member:           m,
 		DetectedAt:       detectedAt,

@@ -121,6 +121,15 @@ func (d *Domain) ApplyFailure(f failure.Failure) {
 	d.lastFailure = &fCopy
 }
 
+// RemoveFailure lifts a previously applied failure (a repair). Components
+// blocked independently stay blocked. Tables under the restored mask come
+// straight from the SPF cache when the mask was seen before.
+func (d *Domain) RemoveFailure(f failure.Failure) {
+	m := d.mask.Clone()
+	f.RemoveFrom(m)
+	d.mask = m
+}
+
 // table returns (computing if needed) the node's shortest-path tree over the
 // current topology view. Trees come from the shared SPF cache and must be
 // treated as read-only.

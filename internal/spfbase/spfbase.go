@@ -62,7 +62,7 @@ func (s *Session) Tree() *multicast.Tree { return s.tree }
 // node already on the tree (PIM-style join toward the source).
 func (s *Session) Join(nr graph.NodeID) error {
 	if nr < 0 || int(nr) >= s.g.NumNodes() {
-		return fmt.Errorf("join %d: node not in graph", nr)
+		return fmt.Errorf("join %d: %w", nr, graph.ErrUnknownNode)
 	}
 	if s.tree.IsMember(nr) {
 		return fmt.Errorf("join %d: %w", nr, ErrAlreadyMember)

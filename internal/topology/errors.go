@@ -1,0 +1,9 @@
+package topology
+
+import "errors"
+
+// ErrBadConfig is wrapped by every generator-configuration validation error
+// in this package (Waxman, transit–stub, N-level, and the fixed fixtures), so
+// callers can match invalid-parameter failures with errors.Is without
+// depending on message text.
+var ErrBadConfig = errors.New("topology: invalid configuration")

@@ -104,7 +104,7 @@ func PaperFig4() (*graph.Graph, error) {
 // deterministic fixture for protocol tests.
 func Line(n int) (*graph.Graph, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("line: n = %d, need at least 2", n)
+		return nil, fmt.Errorf("line: %w: n = %d, need at least 2", ErrBadConfig, n)
 	}
 	g := graph.New(n)
 	for i := 0; i < n-1; i++ {
@@ -120,7 +120,7 @@ func Line(n int) (*graph.Graph, error) {
 // Ring returns the cycle graph over n nodes with unit weights.
 func Ring(n int) (*graph.Graph, error) {
 	if n < 3 {
-		return nil, fmt.Errorf("ring: n = %d, need at least 3", n)
+		return nil, fmt.Errorf("ring: %w: n = %d, need at least 3", ErrBadConfig, n)
 	}
 	g, err := Line(n)
 	if err != nil {
@@ -136,7 +136,7 @@ func Ring(n int) (*graph.Graph, error) {
 // r*cols + c.
 func Grid(rows, cols int) (*graph.Graph, error) {
 	if rows < 1 || cols < 1 || rows*cols < 2 {
-		return nil, fmt.Errorf("grid: %dx%d too small", rows, cols)
+		return nil, fmt.Errorf("grid: %w: %dx%d too small", ErrBadConfig, rows, cols)
 	}
 	g := graph.New(rows * cols)
 	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }

@@ -40,19 +40,19 @@ func DefaultNLevelConfig() NLevelConfig {
 // Validate reports whether the configuration is usable.
 func (c NLevelConfig) Validate() error {
 	if c.Levels < 2 {
-		return fmt.Errorf("nlevel: Levels = %d, need at least 2", c.Levels)
+		return fmt.Errorf("nlevel: %w: Levels = %d, need at least 2", ErrBadConfig, c.Levels)
 	}
 	if c.Fanout < 1 {
-		return fmt.Errorf("nlevel: Fanout = %d, need at least 1", c.Fanout)
+		return fmt.Errorf("nlevel: %w: Fanout = %d, need at least 1", ErrBadConfig, c.Fanout)
 	}
 	if c.NodesPerDomain < 2 {
-		return fmt.Errorf("nlevel: NodesPerDomain = %d, need at least 2", c.NodesPerDomain)
+		return fmt.Errorf("nlevel: %w: NodesPerDomain = %d, need at least 2", ErrBadConfig, c.NodesPerDomain)
 	}
 	if c.Alpha <= 0 || c.Alpha > 1 || c.Beta <= 0 || c.Beta > 1 {
-		return fmt.Errorf("nlevel: Waxman parameters out of (0, 1]")
+		return fmt.Errorf("nlevel: %w: Waxman parameters out of (0, 1]", ErrBadConfig)
 	}
 	if c.Extent <= 0 || c.Shrink <= 0 || c.Shrink >= 1 {
-		return fmt.Errorf("nlevel: need Extent > 0 and Shrink in (0, 1)")
+		return fmt.Errorf("nlevel: %w: need Extent > 0 and Shrink in (0, 1)", ErrBadConfig)
 	}
 	return nil
 }

@@ -83,13 +83,13 @@ func DefaultTransitStubConfig() TransitStubConfig {
 // Validate reports whether the configuration is usable.
 func (c TransitStubConfig) Validate() error {
 	if c.TransitNodes < 2 {
-		return fmt.Errorf("transit-stub: TransitNodes = %d, need at least 2", c.TransitNodes)
+		return fmt.Errorf("transit-stub: %w: TransitNodes = %d, need at least 2", ErrBadConfig, c.TransitNodes)
 	}
 	if c.StubsPerNode < 1 {
-		return fmt.Errorf("transit-stub: StubsPerNode = %d, need at least 1", c.StubsPerNode)
+		return fmt.Errorf("transit-stub: %w: StubsPerNode = %d, need at least 1", ErrBadConfig, c.StubsPerNode)
 	}
 	if c.StubNodes < 2 {
-		return fmt.Errorf("transit-stub: StubNodes = %d, need at least 2", c.StubNodes)
+		return fmt.Errorf("transit-stub: %w: StubNodes = %d, need at least 2", ErrBadConfig, c.StubNodes)
 	}
 	for _, p := range []struct {
 		name string
@@ -100,11 +100,11 @@ func (c TransitStubConfig) Validate() error {
 		{name: "Beta", v: c.Beta},
 	} {
 		if p.v <= 0 || p.v > 1 {
-			return fmt.Errorf("transit-stub: %s = %v out of (0, 1]", p.name, p.v)
+			return fmt.Errorf("transit-stub: %w: %s = %v out of (0, 1]", ErrBadConfig, p.name, p.v)
 		}
 	}
 	if c.TransitExtent <= 0 || c.StubExtent <= 0 {
-		return fmt.Errorf("transit-stub: extents must be positive")
+		return fmt.Errorf("transit-stub: %w: extents must be positive", ErrBadConfig)
 	}
 	return nil
 }

@@ -38,13 +38,13 @@ const DefaultBeta = 0.15
 // Validate reports whether the configuration is usable.
 func (c WaxmanConfig) Validate() error {
 	if c.N < 2 {
-		return fmt.Errorf("waxman: N = %d, need at least 2 nodes", c.N)
+		return fmt.Errorf("waxman: %w: N = %d, need at least 2 nodes", ErrBadConfig, c.N)
 	}
 	if c.Alpha <= 0 || c.Alpha > 1 {
-		return fmt.Errorf("waxman: Alpha = %v out of (0, 1]", c.Alpha)
+		return fmt.Errorf("waxman: %w: Alpha = %v out of (0, 1]", ErrBadConfig, c.Alpha)
 	}
 	if c.Beta <= 0 || c.Beta > 1 {
-		return fmt.Errorf("waxman: Beta = %v out of (0, 1]", c.Beta)
+		return fmt.Errorf("waxman: %w: Beta = %v out of (0, 1]", ErrBadConfig, c.Beta)
 	}
 	return nil
 }

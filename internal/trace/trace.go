@@ -26,6 +26,8 @@ const (
 	CatNotice   Category = "notice"
 	CatRecovery Category = "recovery"
 	CatExpiry   Category = "expiry"
+	CatPark     Category = "park"
+	CatRepair   Category = "repair"
 )
 
 // Entry is one recorded event.

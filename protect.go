@@ -1,6 +1,8 @@
 package smrp
 
 import (
+	"context"
+
 	"smrp/internal/experiment"
 	"smrp/internal/faultisolation"
 	"smrp/internal/protect"
@@ -27,14 +29,15 @@ const (
 	BothChannelsDown  = protect.BothChannelsDown
 )
 
-// Preplanned-protection constructors.
-var (
-	// BuildRedundantTrees constructs the red/blue pair on a biconnected
-	// network.
-	BuildRedundantTrees = protect.BuildRedundantTrees
-	// NewDependableSession creates a primary/backup channel manager.
-	NewDependableSession = protect.NewDependableSession
-)
+// BuildRedundantTrees constructs the red/blue pair on a biconnected network.
+func BuildRedundantTrees(g *Network, source NodeID) (*RedundantTrees, error) {
+	return protect.BuildRedundantTrees(g, source)
+}
+
+// NewDependableSession creates a primary/backup channel manager.
+func NewDependableSession(g *Network, source NodeID) (*DependableSession, error) {
+	return protect.NewDependableSession(g, source)
+}
 
 // Fault-isolation aliases (reference [1]'s role in the hierarchical
 // architecture: find which domain a failure is in from reachability alone).
@@ -45,15 +48,20 @@ type (
 	FaultSuspect = faultisolation.Suspect
 )
 
-// Fault-isolation functions.
-var (
-	// IsolateFault infers the failed tree link(s) from an observation.
-	IsolateFault = faultisolation.Isolate
-	// ObserveFailure produces the observation a failure mask would cause.
-	ObserveFailure = faultisolation.ObserveFailure
-	// NewFaultObservation builds an observation from the reachable members.
-	NewFaultObservation = faultisolation.NewObservation
-)
+// IsolateFault infers the failed tree link(s) from an observation.
+func IsolateFault(t *Tree, obs FaultObservation) ([]FaultSuspect, error) {
+	return faultisolation.Isolate(t, obs)
+}
+
+// ObserveFailure produces the observation a failure mask would cause.
+func ObserveFailure(t *Tree, mask *Mask) FaultObservation {
+	return faultisolation.ObserveFailure(t, mask)
+}
+
+// NewFaultObservation builds an observation from the reachable members.
+func NewFaultObservation(reachable []NodeID) FaultObservation {
+	return faultisolation.NewObservation(reachable)
+}
 
 // Workload aliases (membership churn schedules).
 type (
@@ -66,10 +74,19 @@ type (
 )
 
 // GenerateChurn builds a deterministic churn schedule.
-var GenerateChurn = workload.Generate
+func GenerateChurn(cfg ChurnConfig, rng *RNG) (*ChurnSchedule, error) {
+	return workload.Generate(cfg, rng)
+}
 
 // ProtectionResult compares reactive recovery with preplanned protection.
 type ProtectionResult = experiment.ProtectionResult
 
 // RunProtection executes the reactive-vs-preplanned comparison.
-var RunProtection = experiment.RunProtection
+func RunProtection(runs int, seed uint64) (*ProtectionResult, error) {
+	return experiment.RunProtection(runs, seed)
+}
+
+// RunProtectionCtx is RunProtection under a caller-supplied context.
+func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionResult, error) {
+	return experiment.RunProtectionCtx(ctx, runs, seed)
+}

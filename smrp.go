@@ -22,6 +22,8 @@
 package smrp
 
 import (
+	"slices"
+
 	"smrp/internal/core"
 	"smrp/internal/failure"
 	"smrp/internal/graph"
@@ -134,7 +136,7 @@ func NewSession(net *Network, source NodeID, cfg Config) (*Session, error) {
 
 // ComputeSHR returns the paper's path-sharing metric for every on-tree node
 // of a multicast tree.
-var ComputeSHR = core.ComputeSHR
+func ComputeSHR(t *Tree) map[NodeID]int { return core.ComputeSHR(t) }
 
 // Baseline aliases.
 type (
@@ -163,33 +165,73 @@ const (
 	NodeFailure = failure.NodeFailure
 )
 
-// Failure constructors and recovery primitives.
-var (
-	// LinkDown returns the failure of the undirected link (u, v).
-	LinkDown = failure.LinkDown
-	// NodeDown returns the failure of node n.
-	NodeDown = failure.NodeDown
-	// WorstCaseFor returns the paper's worst-case failure for a member: the
-	// source-incident link of its multicast path.
-	WorstCaseFor = failure.WorstCaseFor
-	// LocalDetour computes SMRP's recovery path and distance for a
-	// disconnected member.
-	LocalDetour = failure.LocalDetour
-	// GlobalDetour computes the SPF baseline's recovery path and distance.
-	GlobalDetour = failure.GlobalDetour
-	// DisconnectedMembers lists the members a failure cuts off.
-	DisconnectedMembers = failure.DisconnectedMembers
-	// SurvivingNodes returns the on-tree nodes a failure leaves connected.
-	SurvivingNodes = failure.SurvivingNodes
+// LinkDown returns the failure of the undirected link (u, v).
+func LinkDown(u, v NodeID) Failure { return failure.LinkDown(u, v) }
+
+// NodeDown returns the failure of node n.
+func NodeDown(n NodeID) Failure { return failure.NodeDown(n) }
+
+// WorstCaseFor returns the paper's worst-case failure for a member: the
+// source-incident link of its multicast path.
+func WorstCaseFor(t *Tree, m NodeID) (Failure, error) { return failure.WorstCaseFor(t, m) }
+
+// LocalDetour computes SMRP's recovery path and distance for a disconnected
+// member.
+func LocalDetour(t *Tree, mask *Mask, m NodeID) (Path, float64, error) {
+	return failure.LocalDetour(t, mask, m)
+}
+
+// GlobalDetour computes the SPF baseline's recovery path and distance.
+func GlobalDetour(t *Tree, mask *Mask, m NodeID) (Path, float64, error) {
+	return failure.GlobalDetour(t, mask, m)
+}
+
+// DisconnectedMembers lists the members a failure cuts off.
+func DisconnectedMembers(t *Tree, mask *Mask) []NodeID {
+	return failure.DisconnectedMembers(t, mask)
+}
+
+// SurvivingNodes returns the on-tree nodes a failure leaves connected.
+func SurvivingNodes(t *Tree, mask *Mask) map[NodeID]bool {
+	return failure.SurvivingNodes(t, mask)
+}
+
+// Multi-failure schedule aliases (overlapping failures, SRLG-correlated
+// cuts, repairs).
+type (
+	// FailureSchedule is a time-ordered sequence of failure/repair events.
+	FailureSchedule = failure.Schedule
+	// FailureEvent is one schedule step: correlated failures plus repairs.
+	FailureEvent = failure.Event
+	// ChaosConfig parameterizes random-schedule generation.
+	ChaosConfig = failure.ChaosConfig
 )
 
-// Worked-example fixtures from the paper's figures.
-var (
-	// PaperFig1 reconstructs the Figure 1 topology (S, A, B, C, D).
-	PaperFig1 = topology.PaperFig1
-	// PaperFig4 reconstructs the Figure 4/5 topology (S, A, B, D, E, G, F, C).
-	PaperFig4 = topology.PaperFig4
-	// Fig1Nodes / Fig4Nodes give the symbolic node names in ID order.
-	Fig1Nodes = topology.Fig1Nodes
-	Fig4Nodes = topology.Fig4Nodes
-)
+// SRLG builds a shared-risk link group around node n: the correlated
+// failure of every link incident to n (the node survives, its links don't).
+func SRLG(g *Network, n NodeID) []Failure { return failure.SRLG(g, n) }
+
+// DefaultChaosConfig returns the chaos harness's schedule-generation
+// defaults.
+func DefaultChaosConfig() ChaosConfig { return failure.DefaultChaosConfig() }
+
+// RandomSchedule draws a seeded multi-failure schedule against a topology:
+// correlated bursts, node failures, optional full partition of a victim, and
+// repairs. The source is never failed directly.
+func RandomSchedule(g *Network, source NodeID, victims []NodeID, cfg ChaosConfig, rng *RNG) (FailureSchedule, error) {
+	return failure.RandomSchedule(g, source, victims, cfg, rng)
+}
+
+// PaperFig1 reconstructs the Figure 1 topology (S, A, B, C, D).
+func PaperFig1() (*Network, error) { return topology.PaperFig1() }
+
+// PaperFig4 reconstructs the Figure 4/5 topology (S, A, B, D, E, G, F, C).
+func PaperFig4() (*Network, error) { return topology.PaperFig4() }
+
+// Fig1Nodes gives the symbolic node names of the Figure 1 topology in ID
+// order.
+func Fig1Nodes() []string { return slices.Clone(topology.Fig1Nodes) }
+
+// Fig4Nodes gives the symbolic node names of the Figure 4/5 topology in ID
+// order.
+func Fig4Nodes() []string { return slices.Clone(topology.Fig4Nodes) }
