@@ -43,6 +43,7 @@ var benchFigures = []struct {
 	{"latency", 10, func() error { _, err := RunLatency(10, benchSeed); return err }},
 	{"hierarchy", 10, func() error { _, err := RunHierarchy(10, benchSeed); return err }},
 	{"churn", 5, func() error { _, err := RunChurn(5, benchSeed); return err }},
+	{"chaos", 50, func() error { _, err := RunChaos(50, benchSeed); return err }},
 }
 
 // TestWriteBenchSummary regenerates BENCH_SUMMARY.json. It is gated behind

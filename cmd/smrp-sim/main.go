@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"smrp/internal/experiment"
+	"smrp/internal/graph"
 )
 
 func main() {
@@ -48,14 +49,15 @@ func run(args []string) error {
 func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|all (chaos runs only when named)")
-		topos   = fs.Int("topos", 10, "random topologies per sweep point")
-		sets    = fs.Int("sets", 10, "member sets per topology")
-		runs    = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
-		trials  = fs.Int("trials", 200, "seeded failure schedules for the chaos study")
-		seed    = fs.Uint64("seed", 2005, "base RNG seed")
-		csv     = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
+		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|all (chaos runs only when named)")
+		topos    = fs.Int("topos", 10, "random topologies per sweep point")
+		sets     = fs.Int("sets", 10, "member sets per topology")
+		runs     = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
+		trials   = fs.Int("trials", 200, "seeded failure schedules for the chaos study")
+		seed     = fs.Uint64("seed", 2005, "base RNG seed")
+		csv      = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
+		spfstats = fs.Bool("spfstats", false, "print per-study SPF cache/delta-repair counters after each study")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +82,22 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	ran := false
 
+	// With -spfstats each study is followed by the delta of the process-wide
+	// SPF counters it consumed: full sweeps vs incremental delta repairs,
+	// nodes settled, and cache hit/miss traffic. Off by default so the
+	// blessed study outputs stay byte-stable.
+	spfPrev := graph.SPFCounters()
+	printSPF := func(study string) {
+		if !*spfstats {
+			return
+		}
+		now := graph.SPFCounters()
+		d := now.Sub(spfPrev)
+		spfPrev = now
+		fmt.Printf("spfstats %s: full=%d delta=%d settled=%d hits=%d misses=%d\n",
+			study, d.FullRuns, d.DeltaRuns, d.NodesSettled, d.CacheHits, d.CacheMisses)
+	}
+
 	if want("7") {
 		ran = true
 		res, err := experiment.RunFig7Ctx(ctx, *seed)
@@ -87,6 +105,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("7")
 		if csvOut != nil {
 			if err := res.WriteCSV(csvOut); err != nil {
 				return err
@@ -112,6 +131,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF(s.name)
 		if csvOut != nil {
 			if err := res.WriteCSV(csvOut); err != nil {
 				return err
@@ -125,6 +145,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("latency")
 	}
 	if want("hierarchy") {
 		ran = true
@@ -133,6 +154,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("hierarchy")
 	}
 	if want("ablations") {
 		ran = true
@@ -141,6 +163,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("ablations")
 		if csvOut != nil {
 			if err := res.WriteCSV(csvOut); err != nil {
 				return err
@@ -154,6 +177,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("churn")
 	}
 	if want("nlevel") {
 		ran = true
@@ -162,6 +186,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("nlevel")
 	}
 	if want("protection") {
 		ran = true
@@ -170,6 +195,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("protection")
 	}
 	// The chaos study runs only when explicitly requested: it is a
 	// correctness harness, not one of the paper's figures, and keeping it
@@ -181,6 +207,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		printSPF("chaos")
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("chaos: %d invariant violations", len(res.Violations))
 		}

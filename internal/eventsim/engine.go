@@ -26,11 +26,21 @@ var Infinity = Time(math.Inf(1))
 
 // Event is a scheduled callback.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	cancel bool
+	at      Time
+	seq     uint64
+	fn      func()
+	r       runnable
+	cancel  bool
+	recycle bool
 }
+
+// runnable is the allocation-free alternative to a func() event body: a
+// reusable object (e.g. the network layer's pooled transit) that carries its
+// own state and is invoked by pointer. Events scheduled through
+// scheduleRunnable return to the engine's freelist after firing, so the
+// per-message Event+closure garbage that dominated the latency study's
+// allocation profile disappears (see DESIGN.md §8).
+type runnable interface{ run() }
 
 // Cancel prevents the event from firing (safe to call multiple times).
 func (e *Event) Cancel() { e.cancel = true }
@@ -61,7 +71,8 @@ type Engine struct {
 	seq    uint64
 	queue  pqueue.Heap[*Event]
 	fired  uint64
-	budget uint64 // max events per Run, guards against livelock
+	budget uint64   // max events per Run, guards against livelock
+	free   []*Event // recycled Events for scheduleRunnable (no handle escapes)
 }
 
 // DefaultEventBudget bounds the number of events a single Run may process.
@@ -100,6 +111,28 @@ func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
 	return ev, nil
 }
 
+// scheduleRunnable queues r to fire after delay on a freelisted Event. No
+// handle is returned — the Event is owned by the engine and recycled the
+// moment it pops, which is only sound because nobody outside the engine can
+// retain (or Cancel) it. The public Schedule keeps allocating precisely
+// because its handle escapes. The caller guarantees delay >= 0 (edge weights
+// are validated positive at graph construction).
+func (e *Engine) scheduleRunnable(delay Time, r runnable) {
+	var ev *Event
+	if k := len(e.free); k > 0 {
+		ev = e.free[k-1]
+		e.free = e.free[:k-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	ev.r = r
+	ev.recycle = true
+	e.seq++
+	e.queue.Push(ev)
+}
+
 // MustSchedule is Schedule for callers with static arguments; it panics on
 // the programming errors Schedule rejects.
 func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
@@ -128,7 +161,19 @@ func (e *Engine) Run(until Time) error {
 			return fmt.Errorf("eventsim: event budget %d exhausted at t=%v (livelock?)", e.budget, e.now)
 		}
 		e.now = popped.at
-		popped.fn()
+		fn, r := popped.fn, popped.r
+		if popped.recycle {
+			// Return the Event to the freelist before invoking the body:
+			// the body may schedule further events and reuse it immediately.
+			popped.fn, popped.r = nil, nil
+			popped.recycle, popped.cancel = false, false
+			e.free = append(e.free, popped)
+		}
+		if r != nil {
+			r.run()
+		} else {
+			fn()
+		}
 		e.fired++
 		processed++
 	}

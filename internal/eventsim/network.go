@@ -27,6 +27,88 @@ type Network struct {
 	// Sent and Delivered count messages for overhead accounting.
 	Sent      uint64
 	Delivered uint64
+
+	// freeTransits recycles in-flight message state. Engines are
+	// single-threaded, so a plain slice freelist suffices — no sync.Pool.
+	freeTransits []*transit
+}
+
+// transit is one message in flight: an owned copy of its remaining route, the
+// index of the hop currently being crossed, and the payload. It implements
+// runnable and re-schedules itself per hop, replacing the per-hop closure
+// chain that used to allocate an Event plus a capture for every link crossed.
+// The path is copied on acquire so callers may reuse their own path buffers
+// the moment Send/SendAlong returns.
+type transit struct {
+	net  *Network
+	path graph.Path
+	i    int
+	msg  Message
+}
+
+// acquireTransit returns a recycled (or new) transit with the route copied in.
+func (n *Network) acquireTransit(path graph.Path, msg Message) *transit {
+	var t *transit
+	if k := len(n.freeTransits); k > 0 {
+		t = n.freeTransits[k-1]
+		n.freeTransits = n.freeTransits[:k-1]
+	} else {
+		t = &transit{net: n}
+	}
+	t.path = append(t.path[:0], path...)
+	t.i = 0
+	t.msg = msg
+	return t
+}
+
+// releaseTransit returns t to the freelist, dropping payload references.
+func (n *Network) releaseTransit(t *transit) {
+	t.msg = nil
+	t.path = t.path[:0]
+	t.i = 0
+	n.freeTransits = append(n.freeTransits, t)
+}
+
+// hop schedules t's delivery across its current hop. It reports false — the
+// message is lost — when the link is gone or already failed at entry, exactly
+// the pre-schedule check the recursive forwarder performed per hop.
+func (t *transit) hop() bool {
+	n := t.net
+	u, v := t.path[t.i], t.path[t.i+1]
+	w, ok := n.g.EdgeWeight(u, v)
+	if !ok || n.failed.EdgeBlocked(u, v) {
+		return false
+	}
+	n.engine.scheduleRunnable(Time(w), t)
+	return true
+}
+
+// run fires when t finishes crossing its current hop: re-check the link (it
+// may have died mid-flight — EdgeBlocked also covers endpoint node failures),
+// then either advance to the next hop or deliver to the final node.
+func (t *transit) run() {
+	n := t.net
+	u, v := t.path[t.i], t.path[t.i+1]
+	if n.failed.EdgeBlocked(u, v) {
+		n.releaseTransit(t)
+		return
+	}
+	if t.i+2 < len(t.path) {
+		t.i++
+		if !t.hop() {
+			n.releaseTransit(t)
+		}
+		return
+	}
+	h, ok := n.handlers[v]
+	if !ok {
+		n.releaseTransit(t)
+		return
+	}
+	from, msg := t.path[0], t.msg
+	n.releaseTransit(t) // release first: the handler may send (and reuse t)
+	n.Delivered++
+	h(from, msg)
 }
 
 // NewNetwork builds a network over g driven by engine.
@@ -97,19 +179,9 @@ func (n *Network) Send(u, v graph.NodeID, msg Message) error {
 	if n.failed.EdgeBlocked(u, v) {
 		return nil // lost on a dead link
 	}
-	_, err := n.engine.Schedule(Time(w), func() {
-		// Re-check at delivery: the link may have died mid-flight.
-		if n.failed.EdgeBlocked(u, v) {
-			return
-		}
-		h, ok := n.handlers[v]
-		if !ok {
-			return
-		}
-		n.Delivered++
-		h(u, msg)
-	})
-	return err
+	t := n.acquireTransit(graph.Path{u, v}, msg)
+	n.engine.scheduleRunnable(Time(w), t)
+	return nil
 }
 
 // SendAlong forwards msg hop-by-hop along path (path[0] is the sender). Each
@@ -118,6 +190,9 @@ func (n *Network) Send(u, v graph.NodeID, msg Message) error {
 // link failures hop-by-hop. This models source-routed control messages
 // (e.g. Join_Req travelling the selected path) without requiring every node
 // to implement forwarding for every message type.
+//
+// The path is copied before the call returns, so callers may reuse their
+// path buffer immediately (the protocol refresh timers rely on this).
 func (n *Network) SendAlong(path graph.Path, msg Message) error {
 	if len(path) < 2 {
 		return errors.New("eventsim: SendAlong needs at least one hop")
@@ -126,31 +201,9 @@ func (n *Network) SendAlong(path graph.Path, msg Message) error {
 		return fmt.Errorf("eventsim: SendAlong: %w", err)
 	}
 	n.Sent++
-	n.forwardAlong(path, 0, msg)
-	return nil
-}
-
-// forwardAlong advances msg from path[i] to path[i+1], recursing until the
-// final hop delivers.
-func (n *Network) forwardAlong(path graph.Path, i int, msg Message) {
-	u, v := path[i], path[i+1]
-	w, ok := n.g.EdgeWeight(u, v)
-	if !ok || n.failed.EdgeBlocked(u, v) {
-		return // lost
+	t := n.acquireTransit(path, msg)
+	if !t.hop() {
+		n.releaseTransit(t) // lost on the first link
 	}
-	n.engine.MustSchedule(Time(w), func() {
-		if n.failed.EdgeBlocked(u, v) || n.failed.NodeBlocked(v) {
-			return
-		}
-		if i+2 < len(path) {
-			n.forwardAlong(path, i+1, msg)
-			return
-		}
-		h, ok := n.handlers[v]
-		if !ok {
-			return
-		}
-		n.Delivered++
-		h(path[0], msg)
-	})
+	return nil
 }

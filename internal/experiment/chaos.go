@@ -72,9 +72,10 @@ type chaosTrial struct {
 
 // chaosInvariants is the oracle: after every event the tree must be
 // structurally valid (no loops, no orphans, every branch rooted at the
-// source), must not route over any failed component, and every original
-// member must be accounted for — either on the tree or parked, never both,
-// never neither.
+// source), must not route over any failed component, every original member
+// must be accounted for — either on the tree or parked, never both, never
+// neither — and the partition of members into on-tree vs parked must agree
+// with residual reachability from the source (see the audit below).
 func chaosInvariants(s *core.Session, members []graph.NodeID, when string) []string {
 	var v []string
 	tr := s.Tree()
@@ -100,6 +101,29 @@ func chaosInvariants(s *core.Session, members []graph.NodeID, when string) []str
 			v = append(v, fmt.Sprintf("%s: member %d both on-tree and parked", when, m))
 		case !tr.IsMember(m) && !parked[m]:
 			v = append(v, fmt.Sprintf("%s: member %d lost (neither on-tree nor parked)", when, m))
+		}
+	}
+	// Residual-reachability audit: one source-rooted shortest-path tree over
+	// the surviving network decides both directions of the member partition.
+	// A parked member that can reach the source was wrongly parked — the
+	// reconcile pass readmits any parked member with a path to a surviving
+	// on-tree node, and the source is one. Conversely an on-tree member must
+	// be reachable, because the (already validated) tree carries a live path
+	// between them. The source stays fixed while each event moves the failure
+	// mask by one to three elements, so this query is also the chaos
+	// harness's incremental-SPF workload: with delta repair on, each audit
+	// costs roughly the orphaned subtree instead of a full sweep.
+	if !mask.NodeBlocked(tr.Source()) {
+		spt := tr.Graph().Dijkstra(tr.Source(), mask)
+		for _, m := range s.Parked() {
+			if spt.Reachable(m) {
+				v = append(v, fmt.Sprintf("%s: parked member %d has a residual path to the source", when, m))
+			}
+		}
+		for _, m := range tr.Members() {
+			if !spt.Reachable(m) {
+				v = append(v, fmt.Sprintf("%s: on-tree member %d unreachable from source in residual network", when, m))
+			}
 		}
 	}
 	return v

@@ -3,6 +3,8 @@ package experiment
 import (
 	"context"
 	"testing"
+
+	"smrp/internal/graph"
 )
 
 // TestChaosAcceptance is the PR's acceptance gate: 200 seeded multi-failure
@@ -61,5 +63,62 @@ func TestChaosCancellation(t *testing.T) {
 	cancel()
 	if _, err := RunChaosCtx(ctx, 50, 2005); err != context.Canceled {
 		t.Fatalf("RunChaosCtx(cancelled) error = %v, want context.Canceled", err)
+	}
+}
+
+// TestChaosSPFDeltaReduction quantifies the incremental-SPF win on the chaos
+// workload, where every trial replays long failure/repair sequences whose
+// masks evolve by one or two elements at a time — the delta-repair sweet
+// spot. It runs the same 20 seeded schedules with the delta path disabled
+// (every cache miss is a full sweep) and enabled, and requires (a) identical
+// rendered results — the optimization must be invisible — and (b) at least a
+// 50% reduction in nodes settled, the PR's acceptance threshold. Counters are
+// process-global, so the run is pinned to one worker and the test must not
+// be marked parallel.
+func TestChaosSPFDeltaReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos delta-reduction is a long test")
+	}
+	const trials, seed = 20, 2005
+
+	prevWorkers := Parallelism()
+	defer SetParallelism(prevWorkers)
+	SetParallelism(1)
+	defer graph.SetSPFDelta(true)
+
+	graph.SetSPFDelta(false)
+	before := graph.SPFCounters()
+	base, err := RunChaos(trials, seed)
+	if err != nil {
+		t.Fatalf("RunChaos(delta off): %v", err)
+	}
+	baseStats := graph.SPFCounters().Sub(before)
+
+	graph.SetSPFDelta(true)
+	before = graph.SPFCounters()
+	fast, err := RunChaos(trials, seed)
+	if err != nil {
+		t.Fatalf("RunChaos(delta on): %v", err)
+	}
+	fastStats := graph.SPFCounters().Sub(before)
+
+	if a, b := base.Render(), fast.Render(); a != b {
+		t.Errorf("chaos output differs with delta repair enabled:\n--- delta off ---\n%s--- delta on ---\n%s", a, b)
+	}
+	if baseStats.DeltaRuns != 0 {
+		t.Errorf("delta disabled but %d delta runs recorded", baseStats.DeltaRuns)
+	}
+	if fastStats.DeltaRuns == 0 {
+		t.Error("delta enabled but no delta repairs ran")
+	}
+	if baseStats.NodesSettled == 0 {
+		t.Fatal("baseline settled no nodes — counter wiring broken")
+	}
+	reduction := 1 - float64(fastStats.NodesSettled)/float64(baseStats.NodesSettled)
+	t.Logf("nodes settled: full-recompute=%d delta=%d (%.1f%% reduction; full=%d→%d delta-runs=%d)",
+		baseStats.NodesSettled, fastStats.NodesSettled, 100*reduction,
+		baseStats.FullRuns, fastStats.FullRuns, fastStats.DeltaRuns)
+	if reduction < 0.50 {
+		t.Errorf("delta repair reduced nodes settled by only %.1f%%, want >= 50%%", 100*reduction)
 	}
 }

@@ -60,6 +60,8 @@ func (g *Graph) dijkstra(src NodeID, mask *Mask) *SPTree {
 	}
 	s := g.NewSweep()
 	s.run(src, mask, Invalid, nil, nil)
+	spfFullRuns.Add(1)
+	spfNodesSettled.Add(uint64(s.settledCount))
 	for i := 0; i < n; i++ {
 		if s.seen[i] == s.epoch {
 			t.Dist[i] = s.dist[i]
@@ -113,6 +115,12 @@ func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
 // surviving on-tree node in the residual network". The sweep stops at the
 // first settled accepted node, and the pooled scratch arena makes the
 // steady-state call allocation-free apart from the returned path.
+//
+// NearestOf deliberately bypasses the SPF cache even when one is attached:
+// the nearest survivor is almost always a few hops out, so the early-exit
+// sweep settles a handful of nodes, far less than the full (src, mask) tree
+// a cache entry would require — memoizing here would cost more settled work
+// than it saves (the sources are disconnected members, rarely re-queried).
 func (g *Graph) NearestOf(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64) {
 	s := g.NewSweep()
 	defer s.Release()

@@ -374,6 +374,111 @@ func (m *Mask) Clone() *Mask {
 	return c
 }
 
+// MaskElem is one blocked element of a Mask: a node when IsEdge is false,
+// an undirected edge otherwise. It is the unit of Mask set-difference used by
+// the incremental-SPF delta path (see DiffElements and internal/graph/ispf.go).
+type MaskElem struct {
+	Node   NodeID // valid when !IsEdge
+	Edge   EdgeID // valid when IsEdge
+	IsEdge bool
+}
+
+// maskElemCompare orders MaskElems deterministically: nodes (by ID) before
+// edges (by canonical endpoint pair). DiffElements sorts its output with it so
+// the diff is independent of map iteration order.
+func maskElemCompare(a, b MaskElem) int {
+	if a.IsEdge != b.IsEdge {
+		if !a.IsEdge {
+			return -1
+		}
+		return 1
+	}
+	if !a.IsEdge {
+		return int(a.Node - b.Node)
+	}
+	return edgeIDCompare(a.Edge, b.Edge)
+}
+
+// DefaultDiffLimit bounds DiffElements: diffs larger than this are reported as
+// "not small" (ok=false). The incremental-SPF repair is only a win when the
+// mask changed by a handful of elements; past that a full sweep is both
+// simpler and comparably fast, so the cache falls back to it.
+const DefaultDiffLimit = 32
+
+// DiffElements computes the bounded set difference between m and other:
+// added lists elements blocked by m but not by other, removed lists elements
+// blocked by other but not by m. Both slices are sorted deterministically
+// (nodes by ID, then edges by endpoint pair). When the total diff exceeds
+// DefaultDiffLimit the function gives up early and returns ok=false with nil
+// slices — the fast path that lets the SPF cache probe "is this mask a small
+// delta of one I already solved?" without unbounded work. A nil mask is
+// treated as empty.
+func (m *Mask) DiffElements(other *Mask) (added, removed []MaskElem, ok bool) {
+	return m.AppendDiff(nil, nil, other, DefaultDiffLimit)
+}
+
+// AppendDiff is the allocation-aware core of DiffElements: it appends the
+// diff to the provided slices (reusing their capacity) under an explicit
+// element limit, returning the grown slices and whether the diff stayed
+// within the limit. On ok=false the returned slices are the inputs truncated
+// to their original contents' prefix and must not be interpreted as a diff.
+func (m *Mask) AppendDiff(added, removed []MaskElem, other *Mask, limit int) ([]MaskElem, []MaskElem, bool) {
+	a0, r0 := len(added), len(removed)
+	mc, oc := 0, 0
+	if m != nil {
+		mc = m.count
+	}
+	if other != nil {
+		oc = other.count
+	}
+	// Quick reject: the diff has at least |count difference| elements.
+	if d := mc - oc; d > limit || -d > limit {
+		return added[:a0], removed[:r0], false
+	}
+	budget := limit
+	if m != nil {
+		for n := range m.nodes {
+			if !other.NodeBlocked(n) {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				added = append(added, MaskElem{Node: n})
+			}
+		}
+		for e := range m.edges {
+			if other == nil || !other.edges[e] {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				added = append(added, MaskElem{Edge: e, IsEdge: true})
+			}
+		}
+	}
+	if other != nil {
+		for n := range other.nodes {
+			if !m.NodeBlocked(n) {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				removed = append(removed, MaskElem{Node: n})
+			}
+		}
+		for e := range other.edges {
+			if m == nil || !m.edges[e] {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				removed = append(removed, MaskElem{Edge: e, IsEdge: true})
+			}
+		}
+	}
+	// Map iteration order is randomized; sort so the diff (and everything
+	// derived from it, like delta-repair settle counters) is deterministic.
+	slices.SortFunc(added[a0:], maskElemCompare)
+	slices.SortFunc(removed[r0:], maskElemCompare)
+	return added, removed, true
+}
+
 // mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit bit mixer
 // used for mask fingerprints and cache sharding.
 func mix64(x uint64) uint64 {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -24,9 +25,29 @@ type spfKey struct {
 	fp  uint64
 }
 
+// spfEntry is one memoized tree together with the mask it was computed under
+// (a private clone — callers reuse and mutate their masks, notably the KSP
+// scratch mask). The mask is what makes an entry usable as a delta-repair
+// ancestor: a later miss for the same source diffs its mask against this one
+// and, when the diff is small, clones the tree and repairs it in place
+// instead of re-sweeping the whole topology (see ispf.go). Entries are
+// immutable once published.
+type spfEntry struct {
+	tree *SPTree
+	mask *Mask
+}
+
 type spfShard struct {
 	mu sync.RWMutex
-	m  map[spfKey]*SPTree
+	m  map[spfKey]*spfEntry
+}
+
+// spfRecent tracks, per source, the most recently touched entry — the
+// clone-on-write lineage head that delta repairs start from. Sharded like the
+// main map to keep the pointer swap uncontended.
+type spfRecent struct {
+	mu sync.Mutex
+	m  map[NodeID]*spfEntry
 }
 
 // SPFCache is a concurrency-safe memoization layer over Graph.Dijkstra,
@@ -47,10 +68,12 @@ type SPFCache struct {
 	g       *Graph
 	version atomic.Uint64
 	shards  [spfShardCount]spfShard
+	recent  [spfShardCount]spfRecent
 	cap     int
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	deltas atomic.Uint64
 }
 
 // NewSPFCache builds a cache over g. capPerShard bounds each of the 16
@@ -62,9 +85,34 @@ func NewSPFCache(g *Graph, capPerShard int) *SPFCache {
 	c := &SPFCache{g: g, cap: capPerShard}
 	c.version.Store(g.version)
 	for i := range c.shards {
-		c.shards[i].m = make(map[spfKey]*SPTree)
+		c.shards[i].m = make(map[spfKey]*spfEntry)
+	}
+	for i := range c.recent {
+		c.recent[i].m = make(map[NodeID]*spfEntry)
 	}
 	return c
+}
+
+// recentShard returns the lineage shard for src.
+func (c *SPFCache) recentShard(src NodeID) *spfRecent {
+	return &c.recent[uint32(src)%spfShardCount]
+}
+
+// noteRecent records e as the lineage head for src.
+func (c *SPFCache) noteRecent(src NodeID, e *spfEntry) {
+	rs := c.recentShard(src)
+	rs.mu.Lock()
+	rs.m[src] = e
+	rs.mu.Unlock()
+}
+
+// recentOf returns the lineage head for src, or nil.
+func (c *SPFCache) recentOf(src NodeID) *spfEntry {
+	rs := c.recentShard(src)
+	rs.mu.Lock()
+	e := rs.m[src]
+	rs.mu.Unlock()
+	return e
 }
 
 // Dijkstra returns the shortest-path tree from src under mask, computing and
@@ -78,38 +126,104 @@ func (c *SPFCache) Dijkstra(src NodeID, mask *Mask) *SPTree {
 	sh := &c.shards[mix64(uint64(uint32(key.src))^key.fp)%spfShardCount]
 
 	sh.mu.RLock()
-	t, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
-		return t
+		spfCacheHits.Add(1)
+		// A hit refreshes the lineage head: the next miss for this source is
+		// most likely a small delta of the mask just queried.
+		c.noteRecent(src, e)
+		return e.tree
 	}
 	c.misses.Add(1)
-	t = c.g.dijkstra(src, mask)
+	spfCacheMisses.Add(1)
+	t := c.tryDelta(src, mask)
+	if t == nil {
+		t = c.g.dijkstra(src, mask)
+	}
+	e = &spfEntry{tree: t, mask: mask.Clone()}
 	sh.mu.Lock()
 	if len(sh.m) >= c.cap {
 		// Shard full: drop it wholesale. Correctness never depends on a
 		// cache hit, and clearing is O(1) amortized vs. LRU bookkeeping.
-		sh.m = make(map[spfKey]*SPTree)
+		sh.m = make(map[spfKey]*spfEntry)
 	}
 	// Last writer wins on a racing double-compute; both results are
-	// identical because dijkstra is deterministic.
-	sh.m[key] = t
+	// identical because dijkstra and the delta repair are deterministic.
+	sh.m[key] = e
 	sh.mu.Unlock()
+	c.noteRecent(src, e)
 	return t
 }
+
+// tryDelta attempts to produce the (src, mask) tree by incremental repair of
+// the source's lineage head instead of a full sweep. It returns nil when the
+// delta path is disabled, no lineage exists, the mask diff is too large, or
+// the repair declined (degenerate source) — the caller then falls back to
+// g.dijkstra. On success the returned tree is bit-identical to what the full
+// sweep would have produced (see ispf.go for why).
+func (c *SPFCache) tryDelta(src NodeID, mask *Mask) *SPTree {
+	if spfDeltaOff.Load() {
+		return nil
+	}
+	prev := c.recentOf(src)
+	if prev == nil {
+		return nil
+	}
+	sc := ispfPool.Get().(*ispfScratch)
+	defer ispfPool.Put(sc)
+	added, removed, ok := mask.AppendDiff(sc.added[:0], sc.removed[:0], prev.mask, DefaultDiffLimit)
+	sc.added, sc.removed = added[:0], removed[:0] // keep grown buffers pooled
+	if !ok {
+		return nil
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		// Content-identical mask (entry was evicted from the shard map):
+		// the lineage tree is already the answer.
+		return prev.tree
+	}
+	nt := cloneTree(prev.tree)
+	settled, ok := ispfRepair(c.g, nt, added, removed, mask, sc)
+	if !ok {
+		return nil
+	}
+	c.deltas.Add(1)
+	spfDeltaRuns.Add(1)
+	spfNodesSettled.Add(uint64(settled))
+	if ispfCrosscheck {
+		ref := c.g.dijkstra(src, mask)
+		for v := range ref.Dist {
+			if nt.Dist[v] != ref.Dist[v] || nt.Parent[v] != ref.Parent[v] {
+				panic(fmt.Sprintf("ispf mismatch src=%d node=%d got=(%v,%v) want=(%v,%v) added=%v removed=%v",
+					src, v, nt.Dist[v], nt.Parent[v], ref.Dist[v], ref.Parent[v], added, removed))
+			}
+		}
+	}
+	return nt
+}
+
+// ispfCrosscheck, when set via SMRP_ISPF_CHECK=1, verifies every delta repair
+// against a full sweep (debugging aid; defeats the optimization).
+var ispfCrosscheck = os.Getenv("SMRP_ISPF_CHECK") == "1"
 
 // Flush drops every memoized tree.
 func (c *SPFCache) Flush() { c.flushTo(c.g.version) }
 
-// flushTo clears all shards and records the graph version the cache now
-// reflects. Racing flushes are harmless: both clear, and the version
-// converges to the current graph version.
+// flushTo clears all shards (including the delta-repair lineage index, whose
+// trees are just as stale as the mapped ones) and records the graph version
+// the cache now reflects. Racing flushes are harmless: both clear, and the
+// version converges to the current graph version.
 func (c *SPFCache) flushTo(v uint64) {
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
-		c.shards[i].m = make(map[spfKey]*SPTree)
+		c.shards[i].m = make(map[spfKey]*spfEntry)
 		c.shards[i].mu.Unlock()
+	}
+	for i := range c.recent {
+		c.recent[i].mu.Lock()
+		c.recent[i].m = make(map[NodeID]*spfEntry)
+		c.recent[i].mu.Unlock()
 	}
 	c.version.Store(v)
 }
@@ -130,10 +244,15 @@ func (c *SPFCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// DeltaRepairs returns how many misses this cache served by incremental
+// delta repair instead of a full sweep.
+func (c *SPFCache) DeltaRepairs() uint64 { return c.deltas.Load() }
+
 // String describes the cache state.
 func (c *SPFCache) String() string {
 	h, m := c.Stats()
-	return fmt.Sprintf("graph.SPFCache{entries=%d hits=%d misses=%d}", c.Len(), h, m)
+	return fmt.Sprintf("graph.SPFCache{entries=%d hits=%d misses=%d deltas=%d}",
+		c.Len(), h, m, c.deltas.Load())
 }
 
 // EnableSPFCache attaches a memoizing SPF cache to the graph: all subsequent

@@ -104,6 +104,12 @@ type Sweep struct {
 	dist    []float64
 	parent  []NodeID
 	heap    pqueue.Heap[heapItem]
+	// settledCount tallies nodes settled by the last run. Graph.dijkstra
+	// feeds it into the package-wide SPFNodesSettled counter so full builds
+	// and incremental delta repairs are comparable; early-exit point queries,
+	// nearest-of sweeps and raw Sweep users (candidate enumeration, test
+	// oracles) deliberately do not contribute (see metrics.SPFStats).
+	settledCount int
 }
 
 // NewSweep acquires a pooled sweep bound to g. Release it when done.
@@ -139,6 +145,7 @@ func (s *Sweep) begin() {
 		s.epoch = 1
 	}
 	s.heap.Reset()
+	s.settledCount = 0
 }
 
 // Run executes a full deterministic Dijkstra sweep from src over the graph
@@ -198,6 +205,7 @@ func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID
 			continue // stale heap entry (superseded by a better relaxation)
 		}
 		s.settled[u] = s.epoch
+		s.settledCount++
 		if accept != nil && accept(u) {
 			return u
 		}

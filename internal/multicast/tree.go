@@ -209,17 +209,26 @@ func (t *Tree) UsesEdge(e graph.EdgeID) bool {
 
 // PathToSource returns the on-tree path from n up to the source (n first).
 func (t *Tree) PathToSource(n graph.NodeID) (graph.Path, error) {
+	return t.AppendPathToSource(nil, n)
+}
+
+// AppendPathToSource appends the on-tree path from n up to the source (n
+// first) to buf and returns the extended slice, letting periodic callers
+// (refresh timers fire once per member per interval for the whole run) reuse
+// one scratch buffer instead of allocating a fresh path every tick. Callers
+// that retain the result across calls must copy it.
+func (t *Tree) AppendPathToSource(buf graph.Path, n graph.NodeID) (graph.Path, error) {
 	if !t.OnTree(n) {
-		return nil, fmt.Errorf("path to source from %d: %w", n, ErrNotOnTree)
+		return buf, fmt.Errorf("path to source from %d: %w", n, ErrNotOnTree)
 	}
-	var p graph.Path
+	start := len(buf)
 	for cur := n; cur != graph.Invalid; cur = t.parent[cur] {
-		p = append(p, cur)
-		if len(p) > t.g.NumNodes() {
-			return nil, fmt.Errorf("path to source from %d: cycle in tree", n)
+		buf = append(buf, cur)
+		if len(buf)-start > t.g.NumNodes() {
+			return buf[:start], fmt.Errorf("path to source from %d: cycle in tree", n)
 		}
 	}
-	return p, nil
+	return buf, nil
 }
 
 // TopAncestor returns the child of the source on n's root path — the root

@@ -142,6 +142,10 @@ type SMRPInstance struct {
 	// jitter is the deterministic retry-jitter stream; it is consumed only
 	// when a retry actually fires.
 	jitter *topology.RNG
+	// scratch is the reusable root-path buffer for refresh ticks, leaves and
+	// notice-delay walks — the hottest periodic paths. Safe because SendAlong
+	// copies its path before returning and the engine is single-threaded.
+	scratch graph.Path
 }
 
 // SetTrace installs an event log (nil disables tracing).
@@ -288,7 +292,8 @@ func (i *SMRPInstance) armRefresh(m graph.NodeID) {
 		if !i.session.Tree().IsMember(m) || i.silenced[m] {
 			return // left, lost, or crashed
 		}
-		p, err := i.session.Tree().PathToSource(m)
+		p, err := i.session.Tree().AppendPathToSource(i.scratch[:0], m)
+		i.scratch = p[:0]
 		if err == nil && len(p) >= 2 {
 			_ = i.net.SendAlong(p, Refresh{Member: m})
 		}
@@ -362,7 +367,9 @@ func (i *SMRPInstance) ScheduleLeave(at eventsim.Time, m graph.NodeID) error {
 		if !tr.IsMember(m) {
 			return
 		}
-		if p, err := tr.PathToSource(m); err == nil && len(p) >= 2 {
+		p, err := tr.AppendPathToSource(i.scratch[:0], m)
+		i.scratch = p[:0]
+		if err == nil && len(p) >= 2 {
 			_ = i.net.SendAlong(p, LeaveReq{Member: m})
 		}
 		_ = i.session.Leave(m)
@@ -437,7 +444,8 @@ func (i *SMRPInstance) onFailureSet(fs []failure.Failure) {
 // cut point down the dead subtree to member m (0 when m borders the cut).
 func (i *SMRPInstance) noticeDelay(m graph.NodeID, mask *graph.Mask) (eventsim.Time, bool) {
 	tr := i.session.Tree()
-	p, err := tr.PathToSource(m) // m → … → source
+	p, err := tr.AppendPathToSource(i.scratch[:0], m) // m → … → source
+	i.scratch = p[:0]
 	if err != nil {
 		return 0, false
 	}

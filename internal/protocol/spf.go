@@ -28,6 +28,9 @@ type SPFInstance struct {
 	restorations map[graph.NodeID]Restoration
 	failedAt     eventsim.Time
 	trace        *trace.Log
+	// scratch is the reusable root-path buffer for refresh ticks and leaves
+	// (SendAlong copies its path, and the engine is single-threaded).
+	scratch graph.Path
 }
 
 // SetTrace installs an event log (nil disables tracing).
@@ -106,7 +109,8 @@ func (i *SPFInstance) armRefresh(m graph.NodeID) {
 		if !i.session.Tree().IsMember(m) {
 			return
 		}
-		p, err := i.session.Tree().PathToSource(m)
+		p, err := i.session.Tree().AppendPathToSource(i.scratch[:0], m)
+		i.scratch = p[:0]
 		if err == nil && len(p) >= 2 {
 			_ = i.net.SendAlong(p, Refresh{Member: m})
 		}
@@ -132,7 +136,9 @@ func (i *SPFInstance) ScheduleLeave(at eventsim.Time, m graph.NodeID) error {
 		if !tr.IsMember(m) {
 			return
 		}
-		if p, err := tr.PathToSource(m); err == nil && len(p) >= 2 {
+		p, err := tr.AppendPathToSource(i.scratch[:0], m)
+		i.scratch = p[:0]
+		if err == nil && len(p) >= 2 {
 			_ = i.net.SendAlong(p, LeaveReq{Member: m})
 		}
 		_ = i.session.Leave(m)
