@@ -1,11 +1,19 @@
 package smrp
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
+
+	"smrp/internal/server"
+	"smrp/internal/topology"
 )
 
 // BenchSummary is the machine-readable wall-clock record the bench harness
@@ -91,6 +99,25 @@ func TestWriteBenchSummary(t *testing.T) {
 		}
 	}
 
+	// Serving capacity: total HTTP joins completed across concurrent
+	// sessions on one shared topology. Here workers means concurrent
+	// sessions (client goroutines), not the experiment runner's pool, and
+	// joins/sec = scenarios / wall_seconds.
+	const serveSessions, joinsPer = 16, 64
+	start := time.Now()
+	if err := runServeCapacity(serveSessions, joinsPer); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	sum.Entries = append(sum.Entries, BenchEntry{
+		Figure:      "serve",
+		Scenarios:   serveSessions * joinsPer,
+		Workers:     serveSessions,
+		WallSeconds: time.Since(start).Seconds(),
+	})
+	t.Logf("serve      workers=%d: %.2fs (%.0f joins/sec)", serveSessions,
+		sum.Entries[len(sum.Entries)-1].WallSeconds,
+		float64(serveSessions*joinsPer)/sum.Entries[len(sum.Entries)-1].WallSeconds)
+
 	data, err := json.MarshalIndent(&sum, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +127,79 @@ func TestWriteBenchSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (%d entries)", path, len(sum.Entries))
+}
+
+// runServeCapacity boots the smrp-serve control plane in-process and drives
+// sessions concurrent client goroutines, each creating one session over the
+// shared topology and issuing joinsPer HTTP joins. It is the workload behind
+// the "serve" BENCH_SUMMARY entry.
+func runServeCapacity(sessions, joinsPer int) error {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		N: 200, Alpha: 0.2, Beta: topology.DefaultBeta, EnsureConnected: true,
+	}, topology.NewRNG(benchSeed))
+	if err != nil {
+		return err
+	}
+	reg := server.NewRegistry(g, server.RegistryConfig{})
+	srv := server.New(reg, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		srv.Drain()
+		ts.Close()
+	}()
+	client := ts.Client()
+
+	post := func(path string, body any) (int, string, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, "", err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			ID string `json:"id"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out.ID, nil
+	}
+
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, id, err := post("/v1/sessions", map[string]any{"source": i})
+			if err != nil || code != http.StatusCreated {
+				errs <- fmt.Errorf("create %d: status %d err %v", i, code, err)
+				return
+			}
+			joinURL := "/v1/sessions/" + id + "/join"
+			for n := 1; n <= joinsPer; n++ {
+				node := (i + n*3) % 200
+				if node == i {
+					continue
+				}
+				code, _, err := post(joinURL, map[string]any{"node": node})
+				if err != nil {
+					errs <- fmt.Errorf("join: %w", err)
+					return
+				}
+				switch code {
+				case http.StatusOK, http.StatusConflict, http.StatusUnprocessableEntity:
+				default:
+					errs <- fmt.Errorf("join session %s node %d: status %d", id, node, code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
 }
 
 // TestBenchSummaryRoundTrip keeps the committed BENCH_SUMMARY.json parseable:

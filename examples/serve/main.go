@@ -1,0 +1,152 @@
+// Serve: the smrp-serve control plane driven end to end over HTTP. Boots
+// the server in-process on an ephemeral port, then acts as a client:
+// creates sessions, subscribes to a Server-Sent-Events feed, joins
+// receivers, injects a node failure (recovered by SMRP local detours),
+// repairs it, and drains the server gracefully — printing the event feed
+// the whole way.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"smrp/internal/graph"
+	"smrp/internal/server"
+	"smrp/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func post(base, path string, body any) (int, map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out, nil
+}
+
+func run() error {
+	// One shared 60-node Waxman topology for every session the server hosts.
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		N: 60, Alpha: 0.25, Beta: topology.DefaultBeta, EnsureConnected: true,
+	}, topology.NewRNG(2005))
+	if err != nil {
+		return err
+	}
+
+	reg := server.NewRegistry(g, server.RegistryConfig{Generation: 1})
+	srv := server.New(reg, server.Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- srv.ListenAndServe(ctx, "127.0.0.1:0", func(addr string) { ready <- addr })
+	}()
+	base := "http://" + <-ready
+	fmt.Printf("control plane up at %s\n\n", base)
+
+	// Create a session rooted at node 0.
+	code, info, err := post(base, "/v1/sessions", map[string]any{"source": 0})
+	if err != nil || code != http.StatusCreated {
+		return fmt.Errorf("create session: status %d err %v", code, err)
+	}
+	id := info["id"].(string)
+	fmt.Printf("created session %s (source 0)\n", id)
+
+	// Tail the session's SSE feed concurrently, exactly as a monitoring
+	// client would.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(base + "/v1/sessions/" + id + "/events")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var kind string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				kind = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var ev struct {
+					Seq  uint64       `json:"seq"`
+					Node graph.NodeID `json:"node"`
+				}
+				_ = json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev)
+				fmt.Printf("  feed: #%-3d %-9s node=%d\n", ev.Seq, kind, ev.Node)
+			}
+		}
+	}()
+
+	// Join a handful of receivers.
+	for _, n := range []graph.NodeID{10, 20, 30, 40, 50} {
+		code, _, err := post(base, fmt.Sprintf("/v1/sessions/%s/join", id), map[string]any{"node": n})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("join %-2d -> %d\n", n, code)
+	}
+
+	// Persistent failure: take down a node; the server heals the session
+	// with SMRP local detours and parks anything partitioned.
+	code, rep, err := post(base, fmt.Sprintf("/v1/sessions/%s/fail", id),
+		map[string]any{"nodes": []int{20}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fail node 20 -> %d %v\n", code, rep["detours"])
+
+	// Repair it: parked members are readmitted.
+	code, _, err = post(base, fmt.Sprintf("/v1/sessions/%s/repair", id),
+		map[string]any{"nodes": []int{20}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair node 20 -> %d\n", code)
+
+	// Per-session stats and process metrics.
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/stats")
+	if err != nil {
+		return err
+	}
+	var stats map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	fmt.Printf("stats: %v\n", stats["stats"])
+
+	// Graceful drain: the feed receives a final closed snapshot, then ends.
+	fmt.Println("\ndraining...")
+	cancel()
+	if err := <-served; err != nil {
+		return err
+	}
+	wg.Wait()
+	fmt.Println("drained cleanly")
+	return nil
+}

@@ -141,6 +141,15 @@ func (s *Session) HealSet(fs []failure.Failure) (*HealReport, error) {
 	if len(fs) == 0 {
 		return nil, fmt.Errorf("core: heal: %w: empty failure set", failure.ErrBadSchedule)
 	}
+	// Reject before mutating: a batch that takes the source down has no
+	// recovery (FlushDead would surface ErrSourceFailed), and folding it
+	// into the mask first would corrupt the session on a *rejected* request
+	// — the caller sees an error, yet every later Join finds the source
+	// blocked. Callers that want a source failure to accumulate anyway
+	// (hierarchy's domain-down bookkeeping) call ApplyFailure directly.
+	if failure.TakesDownNode(fs, s.tree.Source()) {
+		return nil, failure.ErrSourceFailed
+	}
 	s.ApplyFailure(fs...)
 	return s.reconcile(fs)
 }

@@ -113,6 +113,34 @@ func TestHealSourceFailure(t *testing.T) {
 	}
 }
 
+// A rejected source failure must leave the session untouched: the mask stays
+// empty and later operations behave as if the bad request never happened.
+// (Regression: HealSet used to fold the batch into the mask *before*
+// discovering the source was in it, permanently bricking the session — every
+// subsequent Join returned ErrPartitioned — even though the caller got an
+// error back.)
+func TestHealSourceFailureLeavesSessionIntact(t *testing.T) {
+	s := fig4Session(t, DefaultConfig())
+	if _, err := s.Join(f4E); err != nil {
+		t.Fatal(err)
+	}
+	// The whole batch is rejected, including the sibling link failure: the
+	// cut is correlated, so applying half of it would misrepresent it.
+	batch := []failure.Failure{failure.LinkDown(f4S, f4A), failure.NodeDown(f4S)}
+	if _, err := s.HealSet(batch); !errors.Is(err, failure.ErrSourceFailed) {
+		t.Fatalf("heal batch with source err = %v, want ErrSourceFailed", err)
+	}
+	if snap := s.Snapshot(); snap.Degraded {
+		t.Errorf("session degraded after rejected source failure (mask mutated)")
+	}
+	if _, err := s.Join(f4G); err != nil {
+		t.Errorf("join after rejected source failure: %v", err)
+	}
+	if err := s.Tree().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHealUnrecoverableMember(t *testing.T) {
 	// S(0)-1-2 line, member at 2; failing 1-2 with no alternative strands 2.
 	g := graph.New(3)

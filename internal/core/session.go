@@ -278,6 +278,10 @@ func (s *Session) Parked() []graph.NodeID {
 	return out
 }
 
+// NumParked reports how many members are currently parked, without the
+// allocation Parked pays to build its sorted slice.
+func (s *Session) NumParked() int { return len(s.parked) }
+
 // IsParked reports whether m is currently parked.
 func (s *Session) IsParked(m graph.NodeID) bool { return s.parked[m] }
 

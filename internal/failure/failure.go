@@ -96,6 +96,20 @@ var (
 	ErrSourceFailed = errors.New("failure: multicast source failed")
 )
 
+// TakesDownNode reports whether any failure in fs is a node failure of n.
+// Recovery entry points use it with the multicast source to reject a batch
+// that would take the source down *before* any session state is mutated —
+// a source failure has no recovery (see ErrSourceFailed), so folding it
+// into an accumulated mask on a rejected request would corrupt the session.
+func TakesDownNode(fs []Failure, n graph.NodeID) bool {
+	for _, f := range fs {
+		if f.Kind == NodeFailure && f.Node == n {
+			return true
+		}
+	}
+	return false
+}
+
 // WorstCaseFor returns the paper's worst-case failure for member m on tree
 // t: the on-tree link incident to the source on m's multicast path. This
 // failure disables the largest possible portion of m's path.

@@ -52,6 +52,10 @@ var (
 )
 
 // SPFCounters returns a snapshot of the process-wide SPF work counters.
+// The counters are atomics: snapshotting, resetting, and incrementing may
+// all race freely (e.g. a /metrics scrape during live traffic), though a
+// snapshot taken concurrently with a reset can mix pre- and post-reset
+// fields.
 func SPFCounters() metrics.SPFStats {
 	return metrics.SPFStats{
 		FullRuns:     spfFullRuns.Load(),
@@ -75,6 +79,13 @@ func ResetSPFCounters() {
 // it disabled every cache miss runs a full sweep — the pre-optimization
 // behavior, which is the full-recompute baseline the delta counters are
 // compared against. Results are identical either way.
+//
+// The switch is process-global state shared by every cache and every
+// session. Configure it once at startup (smrp-serve does this from its
+// -spf-delta flag before serving begins), never per request or per
+// session: although the flag itself is an atomic and toggling is safe from
+// a data-race standpoint, a mid-run flip changes which code path
+// concurrent lookups take and makes work counters incomparable.
 func SetSPFDelta(enabled bool) { spfDeltaOff.Store(!enabled) }
 
 // SPFDeltaEnabled reports whether the delta-repair path is active.

@@ -181,9 +181,13 @@ func (s *Session) RecoverSet(fs []failure.Failure) ([]*RecoveryReport, error) {
 		heal, err := ds.session.HealSet(per[id])
 		if err != nil {
 			if errors.Is(err, failure.ErrSourceFailed) {
-				// The domain's own agent just failed. HealSet has already
-				// folded the batch into the mask; the domain degrades as a
-				// group (see Parked) until a repair revives the agent.
+				// The domain's own agent just failed. HealSet rejects the
+				// batch without touching the mask (so servers can't be
+				// corrupted by a rejected request), so fold it in
+				// explicitly here: the domain degrades as a group (see
+				// Parked) and revival must reconcile against every
+				// accumulated failure.
+				ds.session.ApplyFailure(per[id]...)
 				rep.DomainDown = true
 				reports = append(reports, rep)
 				continue

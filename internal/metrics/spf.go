@@ -13,7 +13,9 @@ import "fmt"
 // Counters are cumulative; use Sub to get the delta attributable to one study
 // or phase. All values are deterministic for single-worker runs; with
 // parallel workers, racing double-computes may shift a few units between
-// hits and misses without affecting any study output.
+// hits and misses without affecting any study output. The underlying
+// counters are atomics, so snapshots may be taken concurrently with live
+// traffic (the serving layer's /metrics endpoint does exactly that).
 type SPFStats struct {
 	FullRuns     uint64 // shortest-path trees computed by a full sweep
 	DeltaRuns    uint64 // trees produced by incremental delta repair

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"smrp/internal/graph"
+)
+
+// BenchmarkActorJoin measures the actor round-trip alone: command enqueue,
+// session join, event publish, reply — no HTTP in the path.
+func BenchmarkActorJoin(b *testing.B) {
+	g := waxmanGraph(b, 200, 11)
+	reg := NewRegistry(g, RegistryConfig{})
+	defer reg.Close()
+	a, err := reg.Create(CreateSessionRequest{Source: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := graph.NodeID(1 + i%(g.NumNodes()-1))
+		if _, err := a.Join(ctx, node); err == nil {
+			_ = a.Leave(ctx, node)
+		}
+	}
+}
+
+// BenchmarkServeJoinsHTTP measures end-to-end join throughput over HTTP with
+// concurrent sessions sharing one topology and SPF cache — the serving
+// layer's capacity number (ops are joins; joins/sec = 1e9/ns_per_op).
+func BenchmarkServeJoinsHTTP(b *testing.B) {
+	g := waxmanGraph(b, 200, 11)
+	_, ts := testServer(b, g)
+	client := ts.Client()
+	var nextSource atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := graph.NodeID(nextSource.Add(1) % int64(g.NumNodes()))
+		var info SessionInfo
+		code, err := tryJSON(client, http.MethodPost, ts.URL+"/v1/sessions",
+			CreateSessionRequest{Source: src}, &info)
+		if err != nil || code != http.StatusCreated {
+			b.Errorf("create: status %d err %v", code, err)
+			return
+		}
+		joinURL := ts.URL + "/v1/sessions/" + info.ID + "/join"
+		n := 0
+		for pb.Next() {
+			n++
+			node := graph.NodeID((int(src) + n*3) % g.NumNodes())
+			if node == src {
+				continue
+			}
+			code, err := tryJSON(client, http.MethodPost, joinURL, NodeRequest{Node: node}, nil)
+			if err != nil {
+				b.Errorf("join: %v", err)
+				return
+			}
+			switch code {
+			case http.StatusOK, http.StatusConflict, http.StatusUnprocessableEntity:
+			default:
+				b.Errorf("join node %d: status %d", node, code)
+				return
+			}
+		}
+	})
+}
