@@ -14,6 +14,7 @@ package smrp
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // paperScale are the scenario counts of §4.3.2–4.3.4: ten random topologies
@@ -197,6 +198,29 @@ func BenchmarkProtection(b *testing.B) {
 		}
 		b.ReportMetric(100*res.RedundantCoverage, "%redundant-coverage")
 		b.ReportMetric(res.CostRedundant.Mean, "redundant-cost-x")
+	}
+}
+
+// BenchmarkThroughput regenerates the sharded session-throughput study:
+// sessions advancing concurrently on one shared topology and one shared
+// lock-free SPF cache, each admitting a flash crowd through the batched
+// join path and then riding a high-rate churn storm. The study's rendered
+// counters are deterministic; the rates reported here are this machine's
+// wall clock over them.
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := RunThroughput(10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall := time.Since(start).Seconds()
+		if i == 0 {
+			fmt.Printf("\n%s", res.Render())
+		}
+		b.ReportMetric(float64(res.Joins)/wall, "joins/sec")
+		b.ReportMetric(float64(res.Events)/wall, "events/sec")
+		b.ReportMetric(100*res.SettledReduction(), "%settled-reduction")
 	}
 }
 

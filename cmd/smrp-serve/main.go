@@ -33,6 +33,7 @@ import (
 
 	"smrp/internal/core"
 	"smrp/internal/graph"
+	"smrp/internal/prof"
 	"smrp/internal/server"
 	"smrp/internal/topology"
 )
@@ -49,8 +50,9 @@ func main() {
 // run executes the daemon. ready (if non-nil) receives the bound listen
 // address once the server is accepting — tests use it with "-addr 127.0.0.1:0"
 // to learn the ephemeral port.
-func run(ctx context.Context, args []string, ready func(addr string)) error {
+func run(ctx context.Context, args []string, ready func(addr string)) (err error) {
 	fs := flag.NewFlagSet("smrp-serve", flag.ContinueOnError)
+	profFlags := prof.Register(fs)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		nodes      = fs.Int("nodes", 100, "Waxman topology size")
@@ -67,6 +69,17 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Profiles cover the daemon's whole lifetime and flush on graceful
+	// shutdown — profile a serving window by sending SIGINT when done.
+	if perr := profFlags.Start(); perr != nil {
+		return perr
+	}
+	defer func() {
+		if perr := profFlags.Stop(); err == nil {
+			err = perr
+		}
+	}()
 
 	// SetSPFDelta toggles process-global state shared by every session; it
 	// must be configured exactly once, before serving begins — never

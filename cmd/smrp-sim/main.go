@@ -9,7 +9,8 @@
 //	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
 //
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
-// The multi-failure chaos harness runs via -fig chaos (never part of "all").
+// The multi-failure chaos harness runs via -fig chaos, and the sharded
+// session-throughput study via -fig throughput (neither is part of "all").
 //
 // Scenarios within a figure execute on a deterministic parallel runner
 // (-workers, default GOMAXPROCS). Output is bit-identical for every worker
@@ -28,6 +29,7 @@ import (
 
 	"smrp/internal/experiment"
 	"smrp/internal/graph"
+	"smrp/internal/prof"
 )
 
 func main() {
@@ -46,14 +48,16 @@ func run(args []string) error {
 	return runCtx(context.Background(), args)
 }
 
-func runCtx(ctx context.Context, args []string) error {
+func runCtx(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
+	profFlags := prof.Register(fs)
 	var (
-		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|all (chaos runs only when named)")
+		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|throughput|all (chaos and throughput run only when named)")
 		topos    = fs.Int("topos", 10, "random topologies per sweep point")
 		sets     = fs.Int("sets", 10, "member sets per topology")
 		runs     = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
 		trials   = fs.Int("trials", 200, "seeded failure schedules for the chaos study")
+		sessions = fs.Int("sessions", 10, "concurrent sessions for the throughput study")
 		seed     = fs.Uint64("seed", 2005, "base RNG seed")
 		csv      = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
@@ -66,6 +70,18 @@ func runCtx(ctx context.Context, args []string) error {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
 	}
 	experiment.SetParallelism(*workers)
+
+	// Profilers cover the full study run; Stop flushes them even when the
+	// study itself fails, and a profile-write failure surfaces unless the
+	// study already produced an error.
+	if perr := profFlags.Start(); perr != nil {
+		return perr
+	}
+	defer func() {
+		if perr := profFlags.Stop(); err == nil {
+			err = perr
+		}
+	}()
 
 	var csvOut *os.File
 	if *csv != "" {
@@ -196,6 +212,21 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		fmt.Print(res.Render())
 		printSPF("protection")
+	}
+	// The sharded throughput study runs only when explicitly requested: like
+	// chaos it is an engineering harness, not one of the paper's figures, and
+	// keeping it out of "all" keeps the blessed -fig all output stable.
+	if strings.EqualFold(*fig, "throughput") {
+		ran = true
+		res, err := experiment.RunThroughputCtx(ctx, *sessions, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		printSPF("throughput")
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("throughput: %d integrity violations", len(res.Violations))
+		}
 	}
 	// The chaos study runs only when explicitly requested: it is a
 	// correctness harness, not one of the paper's figures, and keeping it

@@ -118,6 +118,8 @@ type (
 	NLevelResult = experiment.NLevelResult
 	// ChaosResult is the multi-failure chaos harness summary.
 	ChaosResult = experiment.ChaosResult
+	// ThroughputResult is the sharded session-throughput study summary.
+	ThroughputResult = experiment.ThroughputResult
 )
 
 // RunFig7 reproduces Figure 7 (5 topologies, default parameters).
@@ -231,6 +233,20 @@ func RunChaos(trials int, seed uint64) (*ChaosResult, error) {
 // RunChaosCtx is RunChaos under a caller-supplied context.
 func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, error) {
 	return experiment.RunChaosCtx(ctx, trials, seed)
+}
+
+// RunThroughput advances many independent sessions concurrently on one
+// shared topology with one shared SPF cache: each shard admits a flash
+// crowd through the batched join path (against a one-at-a-time reference
+// twin) and then plays a high-rate join/leave churn schedule. Output is
+// byte-identical for any worker count.
+func RunThroughput(sessions int, seed uint64) (*ThroughputResult, error) {
+	return experiment.RunThroughput(sessions, seed)
+}
+
+// RunThroughputCtx is RunThroughput under a caller-supplied context.
+func RunThroughputCtx(ctx context.Context, sessions int, seed uint64) (*ThroughputResult, error) {
+	return experiment.RunThroughputCtx(ctx, sessions, seed)
 }
 
 // DefaultExperimentBase returns the paper's default evaluation setup.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"smrp/internal/graph"
+)
+
+// batchState carries the machinery one JoinBatch call amortizes across its
+// joiners:
+//
+//   - spt: the source-rooted SPF tree under the session's failure mask,
+//     computed once per batch. Sequential joins ask ShortestPath(source, nr)
+//     per joiner — k full sweeps without a cache, k cache probes with one;
+//     the batch reads every joiner's SPF delay off this single tree. Joins
+//     never move the failure mask, so the tree stays valid for the whole
+//     batch.
+//   - sw: one sweep scratch arena shared by every joiner's candidate
+//     enumeration, run in bounded mode (stop when the last live on-tree
+//     merger settles — see graph.Sweep.RunBounded).
+//
+// Both substitutions are value-identical to the sequential machinery, which
+// is what makes JoinBatch bit-identical to one-at-a-time joins
+// (TestJoinBatchBitIdentical).
+type batchState struct {
+	spt *graph.SPTree
+	sw  *graph.Sweep
+}
+
+// JoinBatch admits joiners in order, producing the same session state,
+// results, and errors as calling Join for each element of joiners in the same
+// order — bit-identical, not merely equivalent: grafts, SHR refreshes,
+// Condition-I reshaping, parking, and every float in every JoinResult match
+// the sequential reference exactly.
+//
+// What the batch buys is amortization, not reordering: one source-rooted SPF
+// serves every joiner's delay-bound query, one sweep arena serves every
+// candidate enumeration, and each enumeration stops as soon as all live
+// on-tree mergers have settled instead of flooding the remaining topology.
+// For a k-joiner flash crowd this cuts the settled-node work (Stats.
+// EnumSettled) substantially versus k independent Join calls — the intended
+// use is exactly that shape: k simultaneous joiners of one group, as queued
+// by the server actor's mailbox or a flash-crowd workload.
+//
+// Per-joiner failures do not abort the batch: results[i] and errs[i] report
+// joiner i's outcome, and a failed joiner leaves exactly the state a failed
+// sequential Join would (e.g. parked on ErrPartitioned).
+func (s *Session) JoinBatch(joiners []graph.NodeID) (results []*JoinResult, errs []error) {
+	results = make([]*JoinResult, len(joiners))
+	errs = make([]error, len(joiners))
+	if len(joiners) == 0 {
+		return results, errs
+	}
+	bs := &batchState{sw: s.g.NewSweep()}
+	defer bs.sw.Release()
+	// One source SPF for the whole batch. With an SPF cache attached this is
+	// a single probe; without one it replaces k early-exit point queries with
+	// one full tree — still a large saving for k > 1.
+	bs.spt = s.g.Dijkstra(s.tree.Source(), s.maskOrNil())
+	for i, nr := range joiners {
+		results[i], errs[i] = s.join(nr, bs)
+		if errs[i] == nil {
+			s.stats.BatchJoins++
+		}
+	}
+	return results, errs
+}
+
+// RecoverGraftSet grafts a batch of local-detour paths (each reattachment
+// point → … → member, as accepted by RecoverGraft) and restores the session
+// bookkeeping with a single SHR repair pass over every dirtied branch instead
+// of one pass per graft. The final tree and SHR table are identical to
+// sequential RecoverGraft calls — the repair recomputes from tree state, and
+// the final tree is the same either way. The one observable difference is
+// deliberate: the Condition-I baselines recorded for the batch's members are
+// read from the post-batch tree rather than mid-batch, which is the right
+// reading for a correlated recovery event (the members came back together;
+// their baselines should reflect the tree they all landed on).
+//
+// A graft error aborts the batch: grafts applied so far stay applied and the
+// SHR table is repaired for them before the error is returned, so the
+// session is never left with a stale table.
+func (s *Session) RecoverGraftSet(paths []graph.Path) error {
+	if len(paths) == 0 {
+		return nil
+	}
+	dirty := make([]graph.NodeID, 0, len(paths))
+	members := make([]graph.NodeID, 0, len(paths))
+	var graftErr error
+	for _, p := range paths {
+		if err := s.tree.Graft(p, true); err != nil {
+			graftErr = err
+			break
+		}
+		m := p.Last()
+		delete(s.parked, m)
+		members = append(members, m)
+		dirty = append(dirty, s.tree.TopAncestor(m))
+	}
+	s.shr.refresh(s.tree, dirty...)
+	for _, m := range members {
+		s.recordUpSHR(m)
+	}
+	return graftErr
+}

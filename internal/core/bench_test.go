@@ -46,7 +46,7 @@ func BenchmarkEnumerateCandidates(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = enumerateFull(tr, joiner, shr, nil)
+		_ = enumerateFull(tr, joiner, shr, nil, nil)
 	}
 }
 

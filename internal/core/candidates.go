@@ -50,14 +50,42 @@ const delayEps = 1e-9
 //
 // extraMask additionally blocks nodes/edges (used by reshaping to keep the
 // member's own subtree out of the new path). The joiner must be off-tree.
-func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr shrVals, extraMask *graph.Mask) []Candidate {
+func enumerateFull(t *multicast.Tree, joiner graph.NodeID, shr shrVals, extraMask *graph.Mask, stats *Stats) []Candidate {
+	g := t.Graph()
+	sw := g.NewSweep()
+	defer sw.Release()
+	return enumerateFullWith(sw, false, t, joiner, shr, extraMask, stats)
+}
+
+// enumerateFullWith is enumerateFull on a caller-supplied sweep, optionally
+// bounded. bounded stops the absorbing sweep the moment every unmasked
+// on-tree node has settled: each merger's distance and parent chain is final
+// at its settle (Dijkstra never re-relaxes a settled node), so the candidate
+// set — connections, delays, ordering — is identical to the exhaustive run;
+// only nodes that would have settled after the last merger are skipped. The
+// batched join path passes its batch-scoped sweep (one scratch arena for the
+// whole batch) with bounded=true; the sequential path keeps the exhaustive
+// sweep it has always run, which is what makes EnumSettled a meaningful
+// batch-vs-sequential comparison.
+func enumerateFullWith(sw *graph.Sweep, bounded bool, t *multicast.Tree, joiner graph.NodeID, shr shrVals, extraMask *graph.Mask, stats *Stats) []Candidate {
 	g := t.Graph()
 	treeNodes := t.Nodes()
 	out := make([]Candidate, 0, len(treeNodes))
 
-	sw := g.NewSweep()
-	defer sw.Release()
-	sw.Run(joiner, extraMask, t.OnTree)
+	if bounded {
+		want := 0
+		for _, n := range treeNodes {
+			if !extraMask.NodeBlocked(n) {
+				want++
+			}
+		}
+		sw.RunBounded(joiner, extraMask, t.OnTree, want)
+	} else {
+		sw.Run(joiner, extraMask, t.OnTree)
+	}
+	if stats != nil {
+		stats.EnumSettled += sw.SettledCount()
+	}
 
 	for _, merger := range treeNodes {
 		if extraMask.NodeBlocked(merger) || !sw.Reached(merger) {

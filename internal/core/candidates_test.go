@@ -74,7 +74,7 @@ func TestEnumerateFullMergersAreExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	shr := ComputeSHR(tr)
-	cands := enumerateFull(tr, f4F, denseSHRFor(tr), nil)
+	cands := enumerateFull(tr, f4F, denseSHRFor(tr), nil, nil)
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
@@ -123,7 +123,7 @@ func TestEnumerateFullRespectsExtraMask(t *testing.T) {
 	}
 	shr := denseSHRFor(tr)
 	mask := graph.NewMask().BlockNode(f4D)
-	for _, c := range enumerateFull(tr, f4F, shr, mask) {
+	for _, c := range enumerateFull(tr, f4F, shr, mask, nil) {
 		if c.Merger == f4D || c.Connection.ContainsNode(f4D) {
 			t.Errorf("masked node appeared in candidate %v", c.Connection)
 		}

@@ -143,4 +143,13 @@ type Stats struct {
 	CandidatesSeen int // total candidates examined during path selections
 	Parks          int // members degraded to the parked state (partitioned)
 	Readmissions   int // parked members automatically re-admitted
+
+	// BatchJoins counts members admitted through JoinBatch (a subset of
+	// Joins). EnumSettled tallies nodes settled by candidate-enumeration
+	// sweeps — the settled-node counter is the repository's CI-stable unit of
+	// SPF work (wall-clock is noise on shared single-core runners), and the
+	// batched join path's bounded sweeps show up here as a reduction against
+	// the one-at-a-time reference.
+	BatchJoins  int
+	EnumSettled int
 }

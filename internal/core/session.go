@@ -146,6 +146,15 @@ type JoinResult struct {
 // reshaping triggers. It fails if nr is already a member or cannot reach the
 // tree.
 func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
+	return s.join(nr, nil)
+}
+
+// join is the shared admission engine behind Join and JoinBatch. A non-nil
+// batchState substitutes the batch's amortized machinery — the shared
+// source-rooted SPF tree and the bounded candidate sweep — for the
+// per-call equivalents; every substitution is value-identical (see
+// batch.go), so the two paths produce bit-identical sessions.
+func (s *Session) join(nr graph.NodeID, bs *batchState) (*JoinResult, error) {
 	if nr < 0 || int(nr) >= s.g.NumNodes() {
 		return nil, fmt.Errorf("join %d: %w", nr, ErrUnknownNode)
 	}
@@ -157,8 +166,20 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 		return nil, fmt.Errorf("join %d: %w", nr, failure.ErrMemberFailed)
 	}
 
-	spfPath, spfDelay := s.g.ShortestPath(s.tree.Source(), nr, mask)
-	if spfPath == nil && nr != s.tree.Source() {
+	var spfDelay float64
+	var spfReachable bool
+	if bs != nil {
+		// The batch's shared source tree answers every joiner's SPF query:
+		// same source, same mask (joins never move the failure mask), so the
+		// distances are the ones ShortestPath would have produced.
+		spfReachable = bs.spt.Reachable(nr)
+		spfDelay = bs.spt.Dist[nr]
+	} else {
+		var spfPath graph.Path
+		spfPath, spfDelay = s.g.ShortestPath(s.tree.Source(), nr, mask)
+		spfReachable = spfPath != nil
+	}
+	if !spfReachable && nr != s.tree.Source() {
 		if mask != nil {
 			// Degrade gracefully: the joiner is alive but the accumulated
 			// failures cut it off. Park it for automatic re-admission.
@@ -178,7 +199,7 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 		res.Merger = nr
 		res.Connection = graph.Path{nr}
 	} else {
-		cand, ok, err := s.selectJoinPath(nr, spfDelay, nil)
+		cand, ok, err := s.selectJoinPath(nr, spfDelay, nil, bs)
 		if err != nil {
 			if mask != nil && errors.Is(err, ErrNoPath) {
 				s.park(nr)
@@ -214,8 +235,10 @@ func (s *Session) Join(nr graph.NodeID) (*JoinResult, error) {
 // selectJoinPath enumerates candidates for joiner (per the configured
 // knowledge mode) and applies the selection criterion. extraMask lets
 // reshaping exclude the member's own subtree; the session's accumulated
-// failure mask is always folded in on top.
-func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask) (Candidate, bool, error) {
+// failure mask is always folded in on top. A non-nil batchState routes
+// full-topology enumeration through the batch's shared sweep in bounded
+// mode (value-identical; see enumerateFullWith).
+func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask, bs *batchState) (Candidate, bool, error) {
 	shr := s.shr.dense(s.tree)
 	mask := s.opMask(extraMask)
 	var cands []Candidate
@@ -223,7 +246,11 @@ func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMas
 	case QueryScheme:
 		cands = enumerateQuery(s.tree, joiner, shr, mask, &s.stats)
 	default:
-		cands = enumerateFull(s.tree, joiner, shr, mask)
+		if bs != nil {
+			cands = enumerateFullWith(bs.sw, true, s.tree, joiner, shr, mask, &s.stats)
+		} else {
+			cands = enumerateFull(s.tree, joiner, shr, mask, &s.stats)
+		}
 	}
 	s.stats.CandidatesSeen += len(cands)
 	if len(cands) == 0 {
@@ -425,7 +452,7 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 	case QueryScheme:
 		cands = enumerateQuery(hypo, m, hypoSHR, mask, &s.stats)
 	default:
-		cands = enumerateFull(hypo, m, hypoSHR, mask)
+		cands = enumerateFull(hypo, m, hypoSHR, mask, &s.stats)
 	}
 	s.stats.CandidatesSeen += len(cands)
 	if len(cands) == 0 {

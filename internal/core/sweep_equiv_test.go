@@ -135,7 +135,7 @@ func TestEnumerateFullMatchesBruteForce(t *testing.T) {
 
 				for mi, mask := range masks {
 					want := bruteEnumerate(tr, joiner, shr, mask)
-					got := enumerateFull(tr, joiner, shr, mask)
+					got := enumerateFull(tr, joiner, shr, mask, nil)
 					if len(got) != len(want) {
 						t.Fatalf("joiner %d mask %d: %d candidates, want %d",
 							joiner, mi, len(got), len(want))

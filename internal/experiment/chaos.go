@@ -183,9 +183,14 @@ func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, er
 		if err != nil {
 			return chaosTrial{}, err
 		}
-		for _, m := range members {
-			if _, err := sess.Join(m); err != nil {
-				return chaosTrial{}, fmt.Errorf("chaos: join %d: %w", m, err)
+		// The initial membership is a flash crowd by construction — every
+		// member of one group arriving at once — so it goes through the
+		// batched join path (bit-identical to sequential joins; this also
+		// keeps JoinBatch under the invariant oracle on every schedule).
+		_, joinErrs := sess.JoinBatch(members)
+		for i, err := range joinErrs {
+			if err != nil {
+				return chaosTrial{}, fmt.Errorf("chaos: join %d: %w", members[i], err)
 			}
 		}
 		for k, ev := range sched.Events {

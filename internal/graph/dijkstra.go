@@ -59,7 +59,7 @@ func (g *Graph) dijkstra(src NodeID, mask *Mask) *SPTree {
 		Parent: make([]NodeID, n),
 	}
 	s := g.NewSweep()
-	s.run(src, mask, Invalid, nil, nil)
+	s.run(src, mask, Invalid, nil, nil, 0)
 	spfFullRuns.Add(1)
 	spfNodesSettled.Add(uint64(s.settledCount))
 	for i := 0; i < n; i++ {
@@ -100,7 +100,7 @@ func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
 	}
 	s := g.NewSweep()
 	defer s.Release()
-	if s.run(src, mask, dst, nil, nil) == Invalid {
+	if s.run(src, mask, dst, nil, nil, 0) == Invalid {
 		return nil, Unreachable
 	}
 	return s.PathTo(dst), s.dist[dst]
@@ -124,7 +124,7 @@ func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
 func (g *Graph) NearestOf(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64) {
 	s := g.NewSweep()
 	defer s.Release()
-	got := s.run(src, mask, Invalid, nil, accept)
+	got := s.run(src, mask, Invalid, nil, accept, 0)
 	if got == Invalid {
 		return Invalid, nil, Unreachable
 	}

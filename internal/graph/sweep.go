@@ -162,8 +162,30 @@ func (s *Sweep) begin() {
 // settle in ascending node order, and among equal-length relaxations the
 // smallest parent ID wins, so results are byte-stable across runs.
 func (s *Sweep) Run(src NodeID, mask *Mask, absorbing func(NodeID) bool) {
-	s.run(src, mask, Invalid, absorbing, nil)
+	s.run(src, mask, Invalid, absorbing, nil, 0)
 }
+
+// RunBounded is Run with an early exit: the sweep stops as soon as want
+// absorbing nodes (excluding src) have settled. When want counts every
+// unmasked absorbing node, the exit happens exactly when the last of them
+// settles — at which point all of their distances and parent chains are final
+// (settled nodes are never re-relaxed), so every absorbing endpoint reads
+// identically to a full Run. Nodes that would have settled after the last
+// absorbing one are simply skipped; that is the entire saving. With want <= 0
+// or more absorbing nodes than are reachable, RunBounded degrades to Run.
+//
+// The batched join path uses this to stop each joiner-rooted candidate sweep
+// the moment every live on-tree merger has settled, instead of flooding the
+// rest of the topology (see core.JoinBatch and SettledCount).
+func (s *Sweep) RunBounded(src NodeID, mask *Mask, absorbing func(NodeID) bool, want int) {
+	s.run(src, mask, Invalid, absorbing, nil, want)
+}
+
+// SettledCount reports how many nodes the last run settled — the unit of SPF
+// work this repository uses as its CI-stable performance evidence (wall-clock
+// is noise on a single-core container; settled nodes are exact and
+// deterministic).
+func (s *Sweep) SettledCount() int { return s.settledCount }
 
 // run is the shared sweep core. Knobs:
 //
@@ -173,10 +195,12 @@ func (s *Sweep) Run(src NodeID, mask *Mask, absorbing func(NodeID) bool) {
 //   - absorbing != nil: absorbing nodes settle but do not relax outward.
 //   - accept != nil: stop at the first settled node for which accept holds
 //     (including src) and return it.
+//   - absorbWant > 0: stop once that many absorbing nodes (excluding src)
+//     have settled (see RunBounded).
 //
 // It returns the settled accept/target node, or Invalid when the sweep ran
 // to exhaustion (or src was invalid/blocked).
-func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID) bool, accept func(NodeID) bool) NodeID {
+func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID) bool, accept func(NodeID) bool, absorbWant int) NodeID {
 	s.begin()
 	g := s.g
 	if !g.valid(src) || mask.NodeBlocked(src) {
@@ -213,6 +237,12 @@ func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID
 			return u
 		}
 		if absorbing != nil && u != src && absorbing(u) {
+			if absorbWant > 0 {
+				absorbWant--
+				if absorbWant == 0 {
+					return Invalid // every wanted endpoint settled; stop early
+				}
+			}
 			continue // settled as an endpoint; never relax through
 		}
 		du := s.dist[u]

@@ -112,6 +112,14 @@ type Actor struct {
 
 // newActor wraps sess in an actor and starts its goroutine.
 func newActor(id string, sess *core.Session, mailboxCap int) *Actor {
+	a := buildActor(id, sess, mailboxCap)
+	go a.run()
+	return a
+}
+
+// buildActor constructs the actor without starting its goroutine (tests
+// preload the mailbox this way to exercise coalescing deterministically).
+func buildActor(id string, sess *core.Session, mailboxCap int) *Actor {
 	if mailboxCap < 1 {
 		mailboxCap = defaultMailboxCap
 	}
@@ -133,7 +141,6 @@ func newActor(id string, sess *core.Session, mailboxCap int) *Actor {
 			close(a.stop)
 		}
 	}
-	go a.run()
 	return a
 }
 
@@ -213,12 +220,12 @@ func (a *Actor) run() {
 	for {
 		select {
 		case c := <-a.mbox:
-			a.handle(c)
+			a.dispatch(c)
 		case <-a.stop:
 			for {
 				select {
 				case c := <-a.mbox:
-					a.handle(c)
+					a.dispatch(c)
 				default:
 					snap := a.sess.Snapshot()
 					a.emit(Event{Kind: EventClosed, Detail: marshalDetail(snap)})
@@ -228,6 +235,74 @@ func (a *Actor) run() {
 			}
 		}
 	}
+}
+
+// dispatch routes one dequeued command. A join opens a coalescing window:
+// every join queued consecutively behind it is pulled into one batch and
+// admitted through core.JoinBatch, which amortizes the source SPF and the
+// candidate-enumeration sweeps across the whole run of joiners. A session's
+// mailbox joins are same-group by construction (one actor owns one session),
+// so a backed-up flash crowd is exactly the shape the batched path is built
+// for. Coalescing never reorders: the window closes at the first non-join
+// command, which is then handled in its queue position, so the command and
+// event order are identical to one-at-a-time handling — and JoinBatch itself
+// is bit-identical to sequential joins, so replies and events match too.
+func (a *Actor) dispatch(c *command) {
+	if c.kind != cmdJoin {
+		a.handle(c)
+		return
+	}
+	batch := []*command{c}
+	var next *command
+collect:
+	for {
+		select {
+		case nc := <-a.mbox:
+			if nc.kind != cmdJoin {
+				next = nc
+				break collect
+			}
+			batch = append(batch, nc)
+		default:
+			break collect
+		}
+	}
+	a.handleJoins(batch)
+	if next != nil {
+		a.handle(next)
+	}
+}
+
+// handleJoins admits a coalesced run of join commands. A solo join takes the
+// ordinary path; two or more go through the session's batched join. Either
+// way each command gets its own reply and its own events, in order.
+func (a *Actor) handleJoins(batch []*command) {
+	joinBatchHist.observe(len(batch))
+	if len(batch) == 1 {
+		a.handle(batch[0])
+		return
+	}
+	nodes := make([]graph.NodeID, len(batch))
+	for i, c := range batch {
+		nodes[i] = c.node
+	}
+	results, errs := a.sess.JoinBatch(nodes)
+	for i, c := range batch {
+		a.handled.Add(1)
+		r, err := results[i], errs[i]
+		if err == nil {
+			joinsTotal.Add(1)
+			a.emit(Event{Kind: EventJoin, Node: c.node, Detail: marshalDetail(joinWire(r))})
+			for _, m := range r.Reshaped {
+				a.emit(Event{Kind: EventReshape, Node: m})
+			}
+		} else if errors.Is(err, core.ErrPartitioned) {
+			a.emit(Event{Kind: EventPark, Node: c.node})
+		}
+		c.reply <- cmdResult{val: r, err: err} // buffered: never blocks
+	}
+	a.members.Store(int64(a.sess.Tree().NumMembers()))
+	a.parked.Store(int64(a.sess.NumParked()))
 }
 
 // emit assigns the next sequence number and publishes ev to the hub.
@@ -250,6 +325,7 @@ func (a *Actor) handle(c *command) {
 		r, err := a.sess.Join(c.node)
 		res = cmdResult{val: r, err: err}
 		if err == nil {
+			joinsTotal.Add(1)
 			a.emit(Event{Kind: EventJoin, Node: c.node, Detail: marshalDetail(joinWire(r))})
 			for _, m := range r.Reshaped {
 				a.emit(Event{Kind: EventReshape, Node: m})

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smrp/internal/core"
+	"smrp/internal/graph"
+)
+
+// preload builds an actor whose goroutine has not started and stuffs its
+// mailbox with the given commands, returning the per-command reply channels.
+// Starting run() afterwards makes coalescing deterministic: the actor wakes
+// to a backed-up mailbox, exactly the flash-crowd shape.
+func preload(t *testing.T, sess *core.Session, cmds []*command) (*Actor, []chan cmdResult) {
+	t.Helper()
+	a := buildActor("s-test", sess, len(cmds)+1)
+	replies := make([]chan cmdResult, len(cmds))
+	for i, c := range cmds {
+		c.reply = make(chan cmdResult, 1)
+		replies[i] = c.reply
+		a.mbox <- c
+	}
+	return a, replies
+}
+
+// TestActorCoalescesMailboxJoins is the server half of the batched-join
+// contract: joins queued consecutively in the mailbox are admitted through
+// one core.JoinBatch, a non-join command closes the window in its queue
+// position, and the replies, final tree, and event order are identical to
+// one-at-a-time handling.
+func TestActorCoalescesMailboxJoins(t *testing.T) {
+	g := testGraph(t)
+	sess, err := core.NewSession(g, 0, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joinsBefore := joinsTotal.Load()
+	histCountBefore := joinBatchHist.count.Load()
+	histSumBefore := joinBatchHist.sum.Load()
+
+	// Four queued joins, then a leave (closes the coalescing window), then
+	// one more join that must run solo after the leave.
+	cmds := []*command{
+		{kind: cmdJoin, node: 1},
+		{kind: cmdJoin, node: 2},
+		{kind: cmdJoin, node: 3},
+		{kind: cmdJoin, node: 4},
+		{kind: cmdLeave, node: 2},
+		{kind: cmdJoin, node: 5},
+	}
+	a, replies := preload(t, sess, cmds)
+	sub := a.hub.subscribe()
+	go a.run()
+	defer func() {
+		a.Close()
+		<-a.Drained()
+	}()
+
+	for i, ch := range replies {
+		r := <-ch
+		if r.err != nil {
+			t.Fatalf("command %d (%v node %d): %v", i, cmds[i].kind, cmds[i].node, r.err)
+		}
+	}
+
+	// The first four joins went through the batched path, the trailing one
+	// through the plain path — visible in the session's work counters.
+	if got := sess.Stats().BatchJoins; got != 4 {
+		t.Fatalf("BatchJoins = %d, want 4 (coalesced window)", got)
+	}
+	if got := sess.Stats().Joins; got != 5 {
+		t.Fatalf("Joins = %d, want 5", got)
+	}
+
+	// Event feed: same kinds, same order, strictly increasing Seq — exactly
+	// what sequential handling would publish.
+	wantKinds := []EventKind{EventJoin, EventJoin, EventJoin, EventJoin, EventLeave, EventJoin}
+	var lastSeq uint64
+	for i, want := range wantKinds {
+		ev := <-sub.ch
+		if ev.Kind != want {
+			t.Fatalf("event %d: kind %q, want %q", i, ev.Kind, want)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event %d: seq %d not increasing past %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+
+	// The final tree matches a sequential twin bit for bit.
+	twin, err := core.NewSession(testGraph(t), 0, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []graph.NodeID{1, 2, 3, 4} {
+		if _, err := twin.Join(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := twin.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twin.Join(5); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(sess.Tree().Members()), fmt.Sprint(twin.Tree().Members()); got != want {
+		t.Fatalf("members %s, want %s", got, want)
+	}
+	for _, n := range twin.Tree().Nodes() {
+		tp, _ := twin.Tree().Parent(n)
+		ap, _ := sess.Tree().Parent(n)
+		if tp != ap {
+			t.Fatalf("node %d parent %d, want %d", n, ap, tp)
+		}
+	}
+
+	// Instrumentation: 5 successful joins; two dispatch windows of sizes 4
+	// and 1 observed by the batch-size histogram.
+	if got := joinsTotal.Load() - joinsBefore; got != 5 {
+		t.Fatalf("smrp_joins_total advanced by %d, want 5", got)
+	}
+	if got := joinBatchHist.count.Load() - histCountBefore; got != 2 {
+		t.Fatalf("batch histogram count advanced by %d, want 2", got)
+	}
+	if got := joinBatchHist.sum.Load() - histSumBefore; got != 5 {
+		t.Fatalf("batch histogram sum advanced by %d, want 5", got)
+	}
+}
+
+// TestActorCoalescedJoinErrors pins per-joiner error behavior inside a
+// coalesced window: a bad joiner gets its own error reply without aborting
+// the rest of the batch.
+func TestActorCoalescedJoinErrors(t *testing.T) {
+	g := testGraph(t)
+	sess, err := core.NewSession(g, 0, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 6 is isolated: its join must fail with no-path while 1 and 3 land.
+	cmds := []*command{
+		{kind: cmdJoin, node: 1},
+		{kind: cmdJoin, node: 6},
+		{kind: cmdJoin, node: 3},
+	}
+	a, replies := preload(t, sess, cmds)
+	go a.run()
+	defer func() {
+		a.Close()
+		<-a.Drained()
+	}()
+
+	if r := <-replies[0]; r.err != nil {
+		t.Fatalf("join 1: %v", r.err)
+	}
+	if r := <-replies[1]; r.err == nil {
+		t.Fatal("join 6 (isolated) succeeded, want error")
+	}
+	if r := <-replies[2]; r.err != nil {
+		t.Fatalf("join 3: %v", r.err)
+	}
+	if !sess.Tree().IsMember(1) || !sess.Tree().IsMember(3) || sess.Tree().IsMember(6) {
+		t.Fatalf("membership wrong after mixed batch: %v", sess.Tree().Members())
+	}
+}
+
+// TestMetricsExposesJoinInstrumentation checks the /metrics exposition for
+// the join counter and the batch-size histogram series.
+func TestMetricsExposesJoinInstrumentation(t *testing.T) {
+	_, ts := testServer(t, testGraph(t))
+	client := ts.Client()
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code, err := tryJSON(client, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"source": 0}, &created); err != nil || code != 201 {
+		t.Fatalf("create session: code=%d err=%v", code, err)
+	}
+	for _, n := range []int{1, 2, 3} {
+		if code, err := tryJSON(client, "POST",
+			ts.URL+"/v1/sessions/"+created.ID+"/join",
+			map[string]any{"node": n}, nil); err != nil || code != 200 {
+			t.Fatalf("join %d: code=%d err=%v", n, code, err)
+		}
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		"smrp_joins_total ",
+		`smrp_actor_join_batch_size_bucket{le="1"} `,
+		`smrp_actor_join_batch_size_bucket{le="+Inf"} `,
+		"smrp_actor_join_batch_size_sum ",
+		"smrp_actor_join_batch_size_count ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The three HTTP joins above all succeeded; the process-wide counter
+	// must be at least that far along.
+	var joins uint64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "smrp_joins_total ") {
+			fmt.Sscanf(line, "smrp_joins_total %d", &joins)
+		}
+	}
+	if joins < 3 {
+		t.Fatalf("smrp_joins_total = %d, want >= 3", joins)
+	}
+}

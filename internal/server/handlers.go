@@ -343,6 +343,11 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "smrp_event_subscribers %d\n", subs)
 	fmt.Fprintf(w, "smrp_members %d\n", members)
 	fmt.Fprintf(w, "smrp_parked %d\n", parked)
+	fmt.Fprintf(w, "smrp_joins_total %d\n", joinsTotal.Load())
+	// How large the actor mailbox's coalesced join batches actually get: one
+	// observation per dispatch window (all-ones under light load; the mass
+	// moves right when flash crowds back the mailbox up).
+	joinBatchHist.write(w, "smrp_actor_join_batch_size")
 
 	spf := graph.SPFCounters()
 	fmt.Fprintf(w, "smrp_spf_full_runs_total %d\n", spf.FullRuns)

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Join instrumentation, process-wide like graph.SPFCounters: plain atomics so
+// the actor hot path pays one RMW per observation and /metrics scrapes never
+// take a lock.
+//
+//   - joinsTotal counts successful joins admitted through any actor
+//     (smrp_joins_total).
+//   - joinBatchHist is the coalesced-batch-size histogram: one observation
+//     per mailbox dispatch of consecutive queued joins, including solo joins
+//     (batch size 1). The distribution shows how often the mailbox actually
+//     backs up enough for the batched path to engage — under light load it
+//     is all ones; under a flash crowd the mass moves right.
+var (
+	joinsTotal    atomic.Uint64
+	joinBatchHist batchHist
+)
+
+// joinBatchBounds are the histogram's upper bucket bounds (le); an implicit
+// +Inf bucket follows. Powers of two up to the default mailbox capacity.
+var joinBatchBounds = [...]int{1, 2, 4, 8, 16, 32, 64}
+
+// batchHist is a fixed-bucket histogram on atomics. buckets[i] counts
+// observations with v <= joinBatchBounds[i] (non-cumulative storage; the
+// exposition cumulates); the last slot is the +Inf overflow.
+type batchHist struct {
+	buckets [len(joinBatchBounds) + 1]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *batchHist) observe(v int) {
+	i := 0
+	for i < len(joinBatchBounds) && v > joinBatchBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(uint64(v))
+	h.count.Add(1)
+}
+
+// write renders the histogram in Prometheus text exposition format under the
+// given metric name.
+func (h *batchHist) write(w io.Writer, name string) {
+	var cum uint64
+	for i, le := range joinBatchBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+	}
+	cum += h.buckets[len(joinBatchBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
