@@ -48,6 +48,16 @@ type BenchEntry struct {
 	// machine-independent evidence recorded alongside the rates
 	// ("throughput" only).
 	SettledReduction float64 `json:"settled_reduction,omitempty"`
+
+	// SettledPerEvent is the settled-node work per recovery event at the
+	// study's largest N — the megascale study's machine-independent unit of
+	// comparison ("megascale-flat" grows with N, "megascale-hier" stays
+	// domain-bounded).
+	SettledPerEvent float64 `json:"settled_per_event,omitempty"`
+	// MemBytes is the arm's deterministic memory accounting at the largest
+	// N: the routed-over graph plus, for the hierarchy, its per-domain
+	// subgraph copies ("megascale-*" only).
+	MemBytes int64 `json:"mem_bytes,omitempty"`
 }
 
 // benchFigures are the figure regenerations the summary times. Scenario
@@ -135,6 +145,38 @@ func TestWriteBenchSummary(t *testing.T) {
 		})
 		t.Logf("throughput workers=%d: %.2fs (%.0f joins/sec, %.0f events/sec, %.1f%% settled reduction)",
 			workers, wall, float64(tr.Joins)/wall, float64(tr.Events)/wall, 100*tr.SettledReduction())
+	}
+
+	// Megascale architecture comparison at CI-sized N: one timed run per
+	// worker count emits a flat and a hierarchical entry sharing that run's
+	// wall clock. The settled-per-event and byte counters come from the
+	// largest N and are deterministic — the same numbers the megascale-smoke
+	// CI gate asserts ratios over.
+	megaSizes := []int{2000, 8000}
+	for _, workers := range []int{1, 4} {
+		SetExperimentParallelism(workers)
+		start := time.Now()
+		mr, err := RunMegascale(megaSizes, 16, benchSeed)
+		if err != nil {
+			t.Fatalf("megascale (workers=%d): %v", workers, err)
+		}
+		wall := time.Since(start).Seconds()
+		top := mr.Rows[len(mr.Rows)-1]
+		sum.Entries = append(sum.Entries,
+			BenchEntry{
+				Figure: "megascale-flat", Scenarios: len(megaSizes), Workers: workers,
+				WallSeconds:     wall,
+				SettledPerEvent: top.Flat.SettledPerEvent(),
+				MemBytes:        top.Flat.GraphBytes,
+			},
+			BenchEntry{
+				Figure: "megascale-hier", Scenarios: len(megaSizes), Workers: workers,
+				WallSeconds:     wall,
+				SettledPerEvent: top.Hier.SettledPerEvent(),
+				MemBytes:        top.Hier.GraphBytes + top.Hier.SessionBytes,
+			})
+		t.Logf("megascale  workers=%d: %.2fs (N=%d settled/event flat=%.1f hier=%.1f)",
+			workers, wall, top.Target, top.Flat.SettledPerEvent(), top.Hier.SettledPerEvent())
 	}
 
 	// Serving capacity: total HTTP joins completed across concurrent

@@ -9,8 +9,9 @@
 //	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
 //
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
-// The multi-failure chaos harness runs via -fig chaos, and the sharded
-// session-throughput study via -fig throughput (neither is part of "all").
+// The multi-failure chaos harness runs via -fig chaos, the sharded
+// session-throughput study via -fig throughput, and the flat-vs-hierarchical
+// scaling study via -fig megascale (none are part of "all").
 //
 // Scenarios within a figure execute on a deterministic parallel runner
 // (-workers, default GOMAXPROCS). Output is bit-identical for every worker
@@ -25,12 +26,33 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"smrp/internal/experiment"
 	"smrp/internal/graph"
 	"smrp/internal/prof"
 )
+
+// parseSizes parses the -sizes flag: a comma-separated list of node counts.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("-sizes: %q is not a node count", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sizes: no sizes given")
+	}
+	return out, nil
+}
 
 func main() {
 	// Ctrl-C cancels the context; in-flight trials stop dispatching and the
@@ -52,12 +74,14 @@ func runCtx(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	profFlags := prof.Register(fs)
 	var (
-		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|throughput|all (chaos and throughput run only when named)")
+		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|throughput|megascale|all (chaos, throughput and megascale run only when named)")
 		topos    = fs.Int("topos", 10, "random topologies per sweep point")
 		sets     = fs.Int("sets", 10, "member sets per topology")
 		runs     = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
 		trials   = fs.Int("trials", 200, "seeded failure schedules for the chaos study")
 		sessions = fs.Int("sessions", 10, "concurrent sessions for the throughput study")
+		sizes    = fs.String("sizes", "10000,50000,100000", "comma-separated network sizes for the megascale study")
+		groups   = fs.Int("groups", 32, "receivers per arm in the megascale study")
 		seed     = fs.Uint64("seed", 2005, "base RNG seed")
 		csv      = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
@@ -227,6 +251,22 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("throughput: %d integrity violations", len(res.Violations))
 		}
+	}
+	// The megascale study runs only when explicitly requested: it builds
+	// topologies orders of magnitude beyond the paper's figures, and keeping
+	// it out of "all" keeps the blessed -fig all output stable.
+	if strings.EqualFold(*fig, "megascale") {
+		ran = true
+		ns, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.RunMegascaleCtx(ctx, ns, *groups, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		printSPF("megascale")
 	}
 	// The chaos study runs only when explicitly requested: it is a
 	// correctness harness, not one of the paper's figures, and keeping it

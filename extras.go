@@ -120,6 +120,8 @@ type (
 	ChaosResult = experiment.ChaosResult
 	// ThroughputResult is the sharded session-throughput study summary.
 	ThroughputResult = experiment.ThroughputResult
+	// MegascaleResult is the flat-vs-hierarchical scaling study summary.
+	MegascaleResult = experiment.MegascaleResult
 )
 
 // RunFig7 reproduces Figure 7 (5 topologies, default parameters).
@@ -247,6 +249,21 @@ func RunThroughput(sessions int, seed uint64) (*ThroughputResult, error) {
 // RunThroughputCtx is RunThroughput under a caller-supplied context.
 func RunThroughputCtx(ctx context.Context, sessions int, seed uint64) (*ThroughputResult, error) {
 	return experiment.RunThroughputCtx(ctx, sessions, seed)
+}
+
+// RunMegascale compares flat against N-level hierarchical session
+// architecture at growing network sizes: same membership and branch-cut
+// recovery schedule on both arms, reported in deterministic settled-node
+// counters and exact per-component byte accounting (never wall-clock). The
+// headline: per-recovery-event work in the hierarchy is bounded by the
+// domain size while the flat arm's grows with N.
+func RunMegascale(sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return experiment.RunMegascale(sizes, groups, seed)
+}
+
+// RunMegascaleCtx is RunMegascale under a caller-supplied context.
+func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return experiment.RunMegascaleCtx(ctx, sizes, groups, seed)
 }
 
 // DefaultExperimentBase returns the paper's default evaluation setup.

@@ -152,4 +152,11 @@ type Stats struct {
 	// the one-at-a-time reference.
 	BatchJoins  int
 	EnumSettled int
+
+	// HealSettled tallies nodes settled by the failure-recovery sweeps
+	// (nearest-survivor searches during Heal/Reconcile/RecoverMember). It is
+	// the per-recovery-event analogue of EnumSettled: the CI-stable measure
+	// of how much of the network a recovery touches, which the megascale
+	// study compares between the flat and hierarchical architectures.
+	HealSettled int
 }

@@ -230,7 +230,9 @@ func (s *Session) reconcile(fs []failure.Failure) (*HealReport, error) {
 		var bestPath graph.Path
 		for m := range remaining {
 			p, d := graph.Path(nil), math.Inf(1)
-			_, p, d = s.g.NearestOf(m, mask, accept)
+			var settled int
+			_, p, d, settled = s.g.NearestOfCounted(m, mask, accept)
+			s.stats.HealSettled += settled
 			if p != nil && (d < bestD || (d == bestD && m < bestM)) {
 				bestD, bestM, bestPath = d, m, p
 			}
@@ -301,7 +303,8 @@ func (s *Session) RecoverMember(m graph.NodeID) (graph.Path, float64, error) {
 	accept := func(n graph.NodeID) bool {
 		return s.tree.OnTree(n) && !mask.NodeBlocked(n)
 	}
-	node, p, d := s.g.NearestOf(m, mask, accept)
+	node, p, d, settled := s.g.NearestOfCounted(m, mask, accept)
+	s.stats.HealSettled += settled
 	if node == graph.Invalid {
 		s.park(m)
 		return nil, 0, fmt.Errorf("recover %d: %w", m, ErrPartitioned)

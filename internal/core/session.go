@@ -97,6 +97,10 @@ func (s *Session) Tree() *multicast.Tree { return s.tree }
 // Config returns the session configuration.
 func (s *Session) Config() Config { return s.cfg }
 
+// Graph returns the graph the session routes over (for a domain sub-session,
+// the induced subgraph it was built on). Callers must not mutate it.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
 // Stats returns a copy of the session's work counters.
 func (s *Session) Stats() Stats { return s.stats }
 

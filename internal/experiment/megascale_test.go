@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// megascaleSmokeSizes are the CI-scale sizes: large enough that the flat
+// arm's recovery work visibly exceeds the hierarchy's domain-bounded work,
+// small enough to finish in seconds.
+var megascaleSmokeSizes = []int{2000, 8000}
+
+// TestMegascaleSettledRatio is the CI gate on the study's headline, stated in
+// settled-node counters (exact and machine-independent), never wall-clock:
+// per-recovery-event settled work in the hierarchy is bounded by the domain
+// size, while the flat arm's grows with N and exceeds the hierarchy's by a
+// widening factor.
+func TestMegascaleSettledRatio(t *testing.T) {
+	res, err := RunMegascale(megascaleSmokeSizes, 16, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(megascaleSmokeSizes) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(megascaleSmokeSizes))
+	}
+	for _, row := range res.Rows {
+		t.Logf("N=%d: flat settled/event=%.1f hier settled/event=%.1f, join flat=%d hier=%d",
+			row.Target, row.Flat.SettledPerEvent(), row.Hier.SettledPerEvent(),
+			row.Flat.JoinSettled, row.Hier.JoinSettled)
+		if row.Flat.Events == 0 || row.Hier.Events == 0 {
+			t.Fatalf("N=%d: no recovery events driven (flat %d, hier %d)",
+				row.Target, row.Flat.Events, row.Hier.Events)
+		}
+		// Hierarchical recovery work is confined to one domain per event. The
+		// reconnect loop re-sweeps each still-disconnected member per round,
+		// so the bound is a small multiple of the ~100-node domain, not N.
+		if perEvent := row.Hier.SettledPerEvent(); perEvent > 1000 {
+			t.Errorf("N=%d: hierarchical settled/event = %.1f, not domain-bounded",
+				row.Target, perEvent)
+		}
+		// The ratio gate: a flat restoration event settles orders of magnitude
+		// more nodes than a domain-confined one (observed >500x; 20x leaves
+		// room for schedule-shape variance without weakening the claim).
+		if row.Flat.RecoverSettled*row.Hier.Events < 20*row.Hier.RecoverSettled*row.Flat.Events {
+			t.Errorf("N=%d: flat settled/event %.1f not >= 20x hierarchical %.1f",
+				row.Target, row.Flat.SettledPerEvent(), row.Hier.SettledPerEvent())
+		}
+		if row.Flat.JoinSettled < 4*row.Hier.JoinSettled {
+			t.Errorf("N=%d: flat join settled %d not >= 4x hierarchical %d",
+				row.Target, row.Flat.JoinSettled, row.Hier.JoinSettled)
+		}
+	}
+	// Growth with N, measured on the admission counter where per-member work
+	// is exactly one near-full sweep: flat scales with the network (4x nodes
+	// here), the hierarchy with the domain chain (constant domain size, so
+	// bounded drift). Per-event restoration work has a noisier multiplier —
+	// how many members hang off the cut branch varies with tree shape — which
+	// is why the per-event claim above is a ratio, not a growth curve.
+	small, large := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if large.Flat.JoinSettled < 2*small.Flat.JoinSettled {
+		t.Errorf("flat join settled did not grow with N: %d at N=%d vs %d at N=%d",
+			small.Flat.JoinSettled, small.Target, large.Flat.JoinSettled, large.Target)
+	}
+	if large.Hier.JoinSettled > 3*small.Hier.JoinSettled {
+		t.Errorf("hierarchical join settled grew with N: %d at N=%d vs %d at N=%d",
+			small.Hier.JoinSettled, small.Target, large.Hier.JoinSettled, large.Target)
+	}
+}
+
+// TestMegascaleMemoryAccounting pins the deterministic memory story: the
+// hierarchy pays for domain confinement with per-domain subgraph copies on
+// the order of the full graph's own footprint, and the accounting is exact
+// (re-running reproduces it bit-for-bit).
+func TestMegascaleMemoryAccounting(t *testing.T) {
+	res, err := RunMegascale([]int{2000}, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Flat.GraphBytes <= 0 || row.Hier.GraphBytes <= 0 {
+		t.Fatalf("graph bytes not accounted: flat %d, hier %d", row.Flat.GraphBytes, row.Hier.GraphBytes)
+	}
+	if row.Flat.SessionBytes != 0 {
+		t.Errorf("flat arm reported session bytes %d, routes over the shared graph", row.Flat.SessionBytes)
+	}
+	if row.Hier.SessionBytes <= 0 {
+		t.Fatal("hierarchical arm reported no subgraph bytes")
+	}
+	// Per-domain subgraphs re-materialize every node and its intra-domain
+	// edges once: same order of magnitude as the graph, bounded by a small
+	// multiple of it.
+	if row.Hier.SessionBytes > 3*row.Hier.GraphBytes {
+		t.Errorf("subgraph bytes %d exceed 3x graph bytes %d", row.Hier.SessionBytes, row.Hier.GraphBytes)
+	}
+	again, err := RunMegascale([]int{2000}, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Render() != res.Render() {
+		t.Fatal("same-seed megascale reruns rendered differently")
+	}
+}
+
+// TestMegascaleDeterministicAcrossWorkerCounts is the megascale-smoke
+// determinism gate: the rendered study must be byte-identical on one worker
+// and four.
+func TestMegascaleDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer SetParallelism(0)
+	const seed = 2005
+	sizes := []int{1000, 2000}
+
+	SetParallelism(1)
+	r1, err := RunMegascale(sizes, 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	r4, err := RunMegascale(sizes, 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := r1.Render(), r4.Render()
+	if seq != par {
+		seqLines, parLines := strings.Split(seq, "\n"), strings.Split(par, "\n")
+		for i := 0; i < min(len(seqLines), len(parLines)); i++ {
+			if seqLines[i] != parLines[i] {
+				t.Fatalf("workers=1 and workers=4 diverge at line %d:\n  w1: %q\n  w4: %q",
+					i+1, seqLines[i], parLines[i])
+			}
+		}
+		t.Fatalf("workers=1 and workers=4 outputs differ in length")
+	}
+}

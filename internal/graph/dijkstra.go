@@ -122,11 +122,22 @@ func (g *Graph) ShortestPath(src, dst NodeID, mask *Mask) (Path, float64) {
 // a cache entry would require — memoizing here would cost more settled work
 // than it saves (the sources are disconnected members, rarely re-queried).
 func (g *Graph) NearestOf(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64) {
+	n, p, d, _ := g.NearestOfCounted(src, mask, accept)
+	return n, p, d
+}
+
+// NearestOfCounted is NearestOf reporting additionally how many nodes the
+// early-exit sweep settled before finding (or failing to find) an accepted
+// node. The count is the deterministic unit of recovery work the megascale
+// study compares across architectures: on a flat topology the ball grows with
+// the network, inside a domain sub-session it is bounded by the domain.
+func (g *Graph) NearestOfCounted(src NodeID, mask *Mask, accept func(NodeID) bool) (NodeID, Path, float64, int) {
 	s := g.NewSweep()
 	defer s.Release()
 	got := s.run(src, mask, Invalid, nil, accept, 0)
+	settled := s.SettledCount()
 	if got == Invalid {
-		return Invalid, nil, Unreachable
+		return Invalid, nil, Unreachable, settled
 	}
-	return got, s.PathTo(got), s.dist[got]
+	return got, s.PathTo(got), s.dist[got], settled
 }

@@ -219,7 +219,11 @@ func edgeIDCompare(a, b EdgeID) int {
 	return int(a.B - b.B)
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. All per-node adjacency slices of
+// the clone share one flat backing array (2·|E| arcs total), so cloning a
+// 10⁵-node graph costs three allocations plus the weight map — not one make
+// per node. The clone's slices are full (len == cap per node), so appends on
+// the clone reallocate instead of clobbering a neighbor's arcs.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		adj:     make([][]Arc, len(g.adj)),
@@ -227,9 +231,15 @@ func (g *Graph) Clone() *Graph {
 		weights: make(map[EdgeID]float64, len(g.weights)),
 	}
 	copy(c.pos, g.pos)
+	total := 0
+	for _, arcs := range g.adj {
+		total += len(arcs)
+	}
+	backing := make([]Arc, 0, total)
 	for i, arcs := range g.adj {
-		c.adj[i] = make([]Arc, len(arcs))
-		copy(c.adj[i], arcs)
+		start := len(backing)
+		backing = append(backing, arcs...)
+		c.adj[i] = backing[start:len(backing):len(backing)]
 	}
 	for id, w := range g.weights {
 		c.weights[id] = w
@@ -237,293 +247,5 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
-// Mask excludes nodes and/or edges from traversal, expressing component
-// failures or deliberate avoidance without mutating the graph. A nil *Mask
-// excludes nothing.
-//
-// The mask maintains its Fingerprint incrementally (XOR is self-inverse and
-// commutative), so fingerprint queries on the SPF-cache hot path are O(1)
-// regardless of how many elements are blocked.
-type Mask struct {
-	nodes map[NodeID]bool
-	edges map[EdgeID]bool
-	// fp is the running XOR of per-element mixes; count the number of
-	// blocked elements folded into it.
-	fp    uint64
-	count int
-}
-
-// NewMask returns an empty mask.
-func NewMask() *Mask {
-	return &Mask{nodes: make(map[NodeID]bool), edges: make(map[EdgeID]bool)}
-}
-
-// nodeMix is the fingerprint contribution of a blocked node.
-func nodeMix(n NodeID) uint64 {
-	return mix64(uint64(n) ^ 0xA5A5_0000_0000_0001)
-}
-
-// edgeMix is the fingerprint contribution of a blocked edge.
-func edgeMix(e EdgeID) uint64 {
-	return mix64(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
-}
-
-// BlockNode marks node n as unusable and returns the mask for chaining.
-func (m *Mask) BlockNode(n NodeID) *Mask {
-	if !m.nodes[n] {
-		m.nodes[n] = true
-		m.fp ^= nodeMix(n)
-		m.count++
-	}
-	return m
-}
-
-// BlockNodes marks every listed node as unusable and returns the mask for
-// chaining — the bulk form of BlockNode used by hot callers (reshaping blocks
-// an entire subtree per evaluation).
-func (m *Mask) BlockNodes(ids ...NodeID) *Mask {
-	for _, n := range ids {
-		m.BlockNode(n)
-	}
-	return m
-}
-
-// UnblockNode removes n from the blocked set and returns the mask for
-// chaining. Unblocking a node that is not blocked is a no-op. Because the
-// fingerprint is an XOR of per-element mixes (self-inverse), unblocking is
-// O(1) — which is what lets hot paths reuse one scratch mask with
-// block/unblock pairs instead of cloning per probe.
-func (m *Mask) UnblockNode(n NodeID) *Mask {
-	if m.nodes[n] {
-		delete(m.nodes, n)
-		m.fp ^= nodeMix(n)
-		m.count--
-	}
-	return m
-}
-
-// BlockEdge marks the undirected edge (u, v) as unusable and returns the mask
-// for chaining.
-func (m *Mask) BlockEdge(u, v NodeID) *Mask {
-	e := MakeEdgeID(u, v)
-	if !m.edges[e] {
-		m.edges[e] = true
-		m.fp ^= edgeMix(e)
-		m.count++
-	}
-	return m
-}
-
-// UnblockEdge removes the undirected edge (u, v) from the blocked set and
-// returns the mask for chaining; a no-op when the edge is not blocked.
-// O(1), like UnblockNode.
-func (m *Mask) UnblockEdge(u, v NodeID) *Mask {
-	e := MakeEdgeID(u, v)
-	if m.edges[e] {
-		delete(m.edges, e)
-		m.fp ^= edgeMix(e)
-		m.count--
-	}
-	return m
-}
-
-// IsEmpty reports whether the mask blocks nothing. A nil mask is empty.
-func (m *Mask) IsEmpty() bool { return m == nil || m.count == 0 }
-
-// hasNodeBlocks reports whether any node is blocked (loop-hoisted fast path
-// for the sweep engine).
-func (m *Mask) hasNodeBlocks() bool { return m != nil && len(m.nodes) > 0 }
-
-// hasEdgeBlocks reports whether any edge is blocked directly (blocked
-// endpoints are covered by hasNodeBlocks).
-func (m *Mask) hasEdgeBlocks() bool { return m != nil && len(m.edges) > 0 }
-
-// NodeBlocked reports whether node n is excluded. A nil mask blocks nothing.
-func (m *Mask) NodeBlocked(n NodeID) bool {
-	return m != nil && m.nodes[n]
-}
-
-// EdgeBlocked reports whether edge (u, v) is excluded, either directly or via
-// a blocked endpoint. A nil mask blocks nothing.
-func (m *Mask) EdgeBlocked(u, v NodeID) bool {
-	if m == nil {
-		return false
-	}
-	return m.edges[MakeEdgeID(u, v)] || m.nodes[u] || m.nodes[v]
-}
-
-// Clone returns a deep copy of the mask. Cloning a nil mask yields an empty
-// mask.
-func (m *Mask) Clone() *Mask {
-	c := NewMask()
-	if m == nil {
-		return c
-	}
-	for n, v := range m.nodes {
-		if v {
-			c.nodes[n] = true
-		}
-	}
-	for e, v := range m.edges {
-		if v {
-			c.edges[e] = true
-		}
-	}
-	c.fp = m.fp
-	c.count = m.count
-	return c
-}
-
-// MaskElem is one blocked element of a Mask: a node when IsEdge is false,
-// an undirected edge otherwise. It is the unit of Mask set-difference used by
-// the incremental-SPF delta path (see DiffElements and internal/graph/ispf.go).
-type MaskElem struct {
-	Node   NodeID // valid when !IsEdge
-	Edge   EdgeID // valid when IsEdge
-	IsEdge bool
-}
-
-// maskElemCompare orders MaskElems deterministically: nodes (by ID) before
-// edges (by canonical endpoint pair). DiffElements sorts its output with it so
-// the diff is independent of map iteration order.
-func maskElemCompare(a, b MaskElem) int {
-	if a.IsEdge != b.IsEdge {
-		if !a.IsEdge {
-			return -1
-		}
-		return 1
-	}
-	if !a.IsEdge {
-		return int(a.Node - b.Node)
-	}
-	return edgeIDCompare(a.Edge, b.Edge)
-}
-
-// DefaultDiffLimit bounds DiffElements: diffs larger than this are reported as
-// "not small" (ok=false). The incremental-SPF repair is only a win when the
-// mask changed by a handful of elements; past that a full sweep is both
-// simpler and comparably fast, so the cache falls back to it.
-const DefaultDiffLimit = 32
-
-// DiffElements computes the bounded set difference between m and other:
-// added lists elements blocked by m but not by other, removed lists elements
-// blocked by other but not by m. Both slices are sorted deterministically
-// (nodes by ID, then edges by endpoint pair). When the total diff exceeds
-// DefaultDiffLimit the function gives up early and returns ok=false with nil
-// slices — the fast path that lets the SPF cache probe "is this mask a small
-// delta of one I already solved?" without unbounded work. A nil mask is
-// treated as empty.
-func (m *Mask) DiffElements(other *Mask) (added, removed []MaskElem, ok bool) {
-	return m.AppendDiff(nil, nil, other, DefaultDiffLimit)
-}
-
-// AppendDiff is the allocation-aware core of DiffElements: it appends the
-// diff to the provided slices (reusing their capacity) under an explicit
-// element limit, returning the grown slices and whether the diff stayed
-// within the limit. On ok=false the returned slices are the inputs truncated
-// to their original contents' prefix and must not be interpreted as a diff.
-func (m *Mask) AppendDiff(added, removed []MaskElem, other *Mask, limit int) ([]MaskElem, []MaskElem, bool) {
-	a0, r0 := len(added), len(removed)
-	mc, oc := 0, 0
-	if m != nil {
-		mc = m.count
-	}
-	if other != nil {
-		oc = other.count
-	}
-	// Quick reject: the diff has at least |count difference| elements.
-	if d := mc - oc; d > limit || -d > limit {
-		return added[:a0], removed[:r0], false
-	}
-	budget := limit
-	if m != nil {
-		for n := range m.nodes {
-			if !other.NodeBlocked(n) {
-				if budget--; budget < 0 {
-					return added[:a0], removed[:r0], false
-				}
-				added = append(added, MaskElem{Node: n})
-			}
-		}
-		for e := range m.edges {
-			if other == nil || !other.edges[e] {
-				if budget--; budget < 0 {
-					return added[:a0], removed[:r0], false
-				}
-				added = append(added, MaskElem{Edge: e, IsEdge: true})
-			}
-		}
-	}
-	if other != nil {
-		for n := range other.nodes {
-			if !m.NodeBlocked(n) {
-				if budget--; budget < 0 {
-					return added[:a0], removed[:r0], false
-				}
-				removed = append(removed, MaskElem{Node: n})
-			}
-		}
-		for e := range other.edges {
-			if m == nil || !m.edges[e] {
-				if budget--; budget < 0 {
-					return added[:a0], removed[:r0], false
-				}
-				removed = append(removed, MaskElem{Edge: e, IsEdge: true})
-			}
-		}
-	}
-	// Map iteration order is randomized; sort so the diff (and everything
-	// derived from it, like delta-repair settle counters) is deterministic.
-	slices.SortFunc(added[a0:], maskElemCompare)
-	slices.SortFunc(removed[r0:], maskElemCompare)
-	return added, removed, true
-}
-
-// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit bit mixer
-// used for mask fingerprints and cache sharding.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
-}
-
-// Fingerprint returns a deterministic 64-bit digest of the blocked set.
-// Blocked elements are combined commutatively (XOR of per-element mixes,
-// maintained incrementally as elements are blocked), so the fingerprint is
-// independent of insertion order and costs O(1) to query. A nil or empty
-// mask fingerprints to 0. Masks with equal fingerprints are treated as equal
-// by the SPF cache; the per-element mixing keeps accidental collisions
-// vanishingly unlikely at cache scale.
-func (m *Mask) Fingerprint() uint64 {
-	if m == nil || m.count == 0 {
-		return 0
-	}
-	// Fold the element count in so masks whose XORs cancel still differ.
-	return mix64(m.fp ^ uint64(m.count)<<1 ^ 0x9E3779B97F4A7C15)
-}
-
-// Union returns a new mask blocking everything blocked by m or other.
-func (m *Mask) Union(other *Mask) *Mask {
-	c := m.Clone()
-	if other == nil {
-		return c
-	}
-	for n, v := range other.nodes {
-		if v && !c.nodes[n] {
-			c.nodes[n] = true
-			c.fp ^= nodeMix(n)
-			c.count++
-		}
-	}
-	for e, v := range other.edges {
-		if v && !c.edges[e] {
-			c.edges[e] = true
-			c.fp ^= edgeMix(e)
-			c.count++
-		}
-	}
-	return c
-}
+// Mask (node/edge exclusion sets, fingerprints, bounded diffs) lives in
+// mask.go.

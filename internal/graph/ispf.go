@@ -394,7 +394,7 @@ func ispfRepair(g *Graph, t *SPTree, added, removed []MaskElem, mask *Mask, sc *
 				if t.Dist[u] == Unreachable {
 					continue
 				}
-				if checkNodes && mask.nodes[u] {
+				if checkNodes && mask.nodeBlocked(u) {
 					continue
 				}
 				if checkEdges && mask.edges[MakeEdgeID(u, v)] {
@@ -420,7 +420,7 @@ func ispfRepair(g *Graph, t *SPTree, added, removed []MaskElem, mask *Mask, sc *
 				if sc.setB[v] == sc.epoch {
 					continue // settled in distance order: final
 				}
-				if checkNodes && mask.nodes[v] {
+				if checkNodes && mask.nodeBlocked(v) {
 					continue
 				}
 				if checkEdges && mask.edges[MakeEdgeID(u, v)] {

@@ -58,7 +58,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int, mask *Mask) []WeightedPat
 			// Remove root-path nodes (except the spur node) to keep paths
 			// loopless.
 			for _, n := range rootPath[:len(rootPath)-1] {
-				if !branch.nodes[n] {
+				if !branch.nodeBlocked(n) {
 					branch.BlockNode(n)
 					addedNodes = append(addedNodes, n)
 				}

@@ -1,0 +1,463 @@
+package graph
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Mask excludes nodes and/or edges from traversal, expressing component
+// failures or deliberate avoidance without mutating the graph. A nil *Mask
+// excludes nothing.
+//
+// The mask maintains its Fingerprint incrementally (XOR is self-inverse and
+// commutative), so fingerprint queries on the SPF-cache hot path are O(1)
+// regardless of how many elements are blocked.
+//
+// Node blocks have two interchangeable representations:
+//
+//   - a map (the historical default), cheap for the tiny masks the paper-scale
+//     studies use;
+//   - a dense bitset, promoted to automatically once the blocked-node count
+//     crosses maskPromoteThreshold, or from birth via NewMaskWithCapacity.
+//     On the Dijkstra/sweep/iSPF relaxation loop a bitset probe is a
+//     shift+and on a contiguous array instead of a hash lookup — the
+//     difference between megascale sweeps being memory-bound on useful data
+//     versus on map buckets.
+//
+// The representation is invisible to callers: Fingerprint, DiffElements,
+// Clone, Union and all blocking queries behave identically (property-tested
+// by TestMaskBitsetEquivalence), so promoting never changes any study output.
+// Node IDs are dense and non-negative by package contract; blocking a
+// negative ID is a no-op.
+//
+// Edge blocks always stay map-backed: the edge universe is quadratic, edge
+// blocks are rare (most failure masks block nodes or a handful of links), and
+// EdgeBlocked is already off the sweep fast path unless edges are blocked.
+type Mask struct {
+	// nodes is the map representation of blocked nodes; nil once promoted.
+	nodes map[NodeID]bool
+	// bits is the dense bitset representation; non-nil exactly when promoted
+	// (the two node representations are mutually exclusive).
+	bits []uint64
+	// nnodes counts blocked nodes regardless of representation.
+	nnodes int
+
+	edges map[EdgeID]bool
+	// fp is the running XOR of per-element mixes; count the number of
+	// blocked elements folded into it.
+	fp    uint64
+	count int
+}
+
+// maskPromoteThreshold is the blocked-node count past which a map-backed mask
+// switches to the bitset representation. Paper-scale masks (a failed link or
+// node, a blocked subtree of a 100-node graph) stay comfortably below it;
+// chaos schedules and megascale subtree blocks cross it and get the dense
+// probes.
+const maskPromoteThreshold = 64
+
+// NewMask returns an empty, map-backed mask.
+func NewMask() *Mask {
+	return &Mask{nodes: make(map[NodeID]bool), edges: make(map[EdgeID]bool)}
+}
+
+// NewMaskWithCapacity returns an empty mask whose node blocks are bitset-
+// backed from birth, sized for node IDs 0..n-1 (the bitset grows if a larger
+// ID is blocked later). Use it when the graph size is known at construction —
+// sessions over megascale topologies bind their failure masks this way so
+// every relaxation-loop probe is dense from the first blocked element.
+func NewMaskWithCapacity(n int) *Mask {
+	if n < 1 {
+		n = 1
+	}
+	return &Mask{bits: make([]uint64, (n+63)/64), edges: make(map[EdgeID]bool)}
+}
+
+// nodeMix is the fingerprint contribution of a blocked node.
+func nodeMix(n NodeID) uint64 {
+	return mix64(uint64(n) ^ 0xA5A5_0000_0000_0001)
+}
+
+// edgeMix is the fingerprint contribution of a blocked edge.
+func edgeMix(e EdgeID) uint64 {
+	return mix64(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
+}
+
+// nodeBlocked is the representation dispatch behind every node-block query;
+// m must be non-nil. Negative IDs are never blocked (uint conversion turns
+// them into out-of-range words).
+func (m *Mask) nodeBlocked(n NodeID) bool {
+	if m.bits != nil {
+		w := uint(n) >> 6
+		return w < uint(len(m.bits)) && m.bits[w]>>(uint(n)&63)&1 != 0
+	}
+	return m.nodes[n]
+}
+
+// promote switches a map-backed mask to the bitset representation sized for
+// the largest blocked ID (or n-1 if larger). Fingerprint and counts are
+// untouched: the blocked set is identical, only its storage changes.
+func (m *Mask) promote(n int) {
+	maxID := NodeID(n - 1)
+	for id := range m.nodes {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID < 0 {
+		maxID = 0
+	}
+	bits := make([]uint64, (int(maxID)+64)/64)
+	for id := range m.nodes {
+		if id >= 0 {
+			bits[uint(id)>>6] |= 1 << (uint(id) & 63)
+		}
+	}
+	m.bits = bits
+	m.nodes = nil
+}
+
+// ensureBits grows the bitset to cover node n (amortized doubling).
+func (m *Mask) ensureBits(n NodeID) {
+	w := int(uint(n)>>6) + 1
+	if w <= len(m.bits) {
+		return
+	}
+	if c := 2 * len(m.bits); w < c {
+		w = c
+	}
+	nb := make([]uint64, w)
+	copy(nb, m.bits)
+	m.bits = nb
+}
+
+// BlockNode marks node n as unusable and returns the mask for chaining.
+// Blocking a negative ID is a no-op (node IDs are dense and non-negative).
+func (m *Mask) BlockNode(n NodeID) *Mask {
+	if n < 0 || m.nodeBlocked(n) {
+		return m
+	}
+	if m.bits != nil {
+		m.ensureBits(n)
+		m.bits[uint(n)>>6] |= 1 << (uint(n) & 63)
+	} else {
+		m.nodes[n] = true
+		if len(m.nodes) > maskPromoteThreshold {
+			m.promote(0)
+		}
+	}
+	m.nnodes++
+	m.fp ^= nodeMix(n)
+	m.count++
+	return m
+}
+
+// BlockNodes marks every listed node as unusable and returns the mask for
+// chaining — the bulk form of BlockNode used by hot callers (reshaping blocks
+// an entire subtree per evaluation).
+func (m *Mask) BlockNodes(ids ...NodeID) *Mask {
+	for _, n := range ids {
+		m.BlockNode(n)
+	}
+	return m
+}
+
+// UnblockNode removes n from the blocked set and returns the mask for
+// chaining. Unblocking a node that is not blocked is a no-op. Because the
+// fingerprint is an XOR of per-element mixes (self-inverse), unblocking is
+// O(1) — which is what lets hot paths reuse one scratch mask with
+// block/unblock pairs instead of cloning per probe.
+func (m *Mask) UnblockNode(n NodeID) *Mask {
+	if !m.nodeBlocked(n) {
+		return m
+	}
+	if m.bits != nil {
+		m.bits[uint(n)>>6] &^= 1 << (uint(n) & 63)
+	} else {
+		delete(m.nodes, n)
+	}
+	m.nnodes--
+	m.fp ^= nodeMix(n)
+	m.count--
+	return m
+}
+
+// BlockEdge marks the undirected edge (u, v) as unusable and returns the mask
+// for chaining.
+func (m *Mask) BlockEdge(u, v NodeID) *Mask {
+	e := MakeEdgeID(u, v)
+	if !m.edges[e] {
+		m.edges[e] = true
+		m.fp ^= edgeMix(e)
+		m.count++
+	}
+	return m
+}
+
+// UnblockEdge removes the undirected edge (u, v) from the blocked set and
+// returns the mask for chaining; a no-op when the edge is not blocked.
+// O(1), like UnblockNode.
+func (m *Mask) UnblockEdge(u, v NodeID) *Mask {
+	e := MakeEdgeID(u, v)
+	if m.edges[e] {
+		delete(m.edges, e)
+		m.fp ^= edgeMix(e)
+		m.count--
+	}
+	return m
+}
+
+// IsEmpty reports whether the mask blocks nothing. A nil mask is empty.
+func (m *Mask) IsEmpty() bool { return m == nil || m.count == 0 }
+
+// hasNodeBlocks reports whether any node is blocked (loop-hoisted fast path
+// for the sweep engine).
+func (m *Mask) hasNodeBlocks() bool { return m != nil && m.nnodes > 0 }
+
+// hasEdgeBlocks reports whether any edge is blocked directly (blocked
+// endpoints are covered by hasNodeBlocks).
+func (m *Mask) hasEdgeBlocks() bool { return m != nil && len(m.edges) > 0 }
+
+// NodeBlocked reports whether node n is excluded. A nil mask blocks nothing.
+func (m *Mask) NodeBlocked(n NodeID) bool {
+	return m != nil && m.nodeBlocked(n)
+}
+
+// EdgeBlocked reports whether edge (u, v) is excluded, either directly or via
+// a blocked endpoint. A nil mask blocks nothing.
+func (m *Mask) EdgeBlocked(u, v NodeID) bool {
+	if m == nil {
+		return false
+	}
+	return m.edges[MakeEdgeID(u, v)] || m.nodeBlocked(u) || m.nodeBlocked(v)
+}
+
+// eachBlockedNode invokes fn for every blocked node. Bitset masks iterate in
+// ascending ID order; map masks in map order. Callers must not rely on the
+// order (everything order-sensitive sorts afterwards, see AppendDiff).
+func (m *Mask) eachBlockedNode(fn func(NodeID)) {
+	if m.bits != nil {
+		for w, word := range m.bits {
+			for word != 0 {
+				fn(NodeID(w<<6 + bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		return
+	}
+	for n := range m.nodes {
+		fn(n)
+	}
+}
+
+// Clone returns a deep copy of the mask, preserving its node representation.
+// Cloning a nil mask yields an empty map-backed mask. Cloning a bitset mask
+// is a single word-array copy — the per-event cost of the SPF cache's
+// clone-per-entry masks stays O(N/64) flat at megascale instead of a
+// per-element map rebuild.
+func (m *Mask) Clone() *Mask {
+	if m == nil {
+		return NewMask()
+	}
+	c := &Mask{
+		nnodes: m.nnodes,
+		edges:  make(map[EdgeID]bool, len(m.edges)),
+		fp:     m.fp,
+		count:  m.count,
+	}
+	if m.bits != nil {
+		c.bits = make([]uint64, len(m.bits))
+		copy(c.bits, m.bits)
+	} else {
+		c.nodes = make(map[NodeID]bool, len(m.nodes))
+		for n, v := range m.nodes {
+			if v {
+				c.nodes[n] = true
+			}
+		}
+	}
+	for e, v := range m.edges {
+		if v {
+			c.edges[e] = true
+		}
+	}
+	return c
+}
+
+// MaskElem is one blocked element of a Mask: a node when IsEdge is false,
+// an undirected edge otherwise. It is the unit of Mask set-difference used by
+// the incremental-SPF delta path (see DiffElements and internal/graph/ispf.go).
+type MaskElem struct {
+	Node   NodeID // valid when !IsEdge
+	Edge   EdgeID // valid when IsEdge
+	IsEdge bool
+}
+
+// maskElemCompare orders MaskElems deterministically: nodes (by ID) before
+// edges (by canonical endpoint pair). DiffElements sorts its output with it so
+// the diff is independent of map iteration order.
+func maskElemCompare(a, b MaskElem) int {
+	if a.IsEdge != b.IsEdge {
+		if !a.IsEdge {
+			return -1
+		}
+		return 1
+	}
+	if !a.IsEdge {
+		return int(a.Node - b.Node)
+	}
+	return edgeIDCompare(a.Edge, b.Edge)
+}
+
+// DefaultDiffLimit bounds DiffElements: diffs larger than this are reported as
+// "not small" (ok=false). The incremental-SPF repair is only a win when the
+// mask changed by a handful of elements; past that a full sweep is both
+// simpler and comparably fast, so the cache falls back to it.
+const DefaultDiffLimit = 32
+
+// DiffElements computes the bounded set difference between m and other:
+// added lists elements blocked by m but not by other, removed lists elements
+// blocked by other but not by m. Both slices are sorted deterministically
+// (nodes by ID, then edges by endpoint pair). When the total diff exceeds
+// DefaultDiffLimit the function gives up early and returns ok=false with nil
+// slices — the fast path that lets the SPF cache probe "is this mask a small
+// delta of one I already solved?" without unbounded work. A nil mask is
+// treated as empty.
+func (m *Mask) DiffElements(other *Mask) (added, removed []MaskElem, ok bool) {
+	return m.AppendDiff(nil, nil, other, DefaultDiffLimit)
+}
+
+// appendNodeDiff appends to out (under the shared budget) every node blocked
+// by m but not by other; it reports the remaining budget and false on budget
+// exhaustion. Works across any representation pairing: bitset-vs-bitset
+// diffs compare whole words and only decode IDs for set difference bits.
+func (m *Mask) appendNodeDiff(out []MaskElem, other *Mask, budget int) ([]MaskElem, int, bool) {
+	if m.bits != nil {
+		for w, word := range m.bits {
+			if other != nil && other.bits != nil && w < len(other.bits) {
+				word &^= other.bits[w] // word-level set difference
+			}
+			for word != 0 {
+				n := NodeID(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				if other.NodeBlocked(n) { // other may be map-backed
+					continue
+				}
+				if budget--; budget < 0 {
+					return out, budget, false
+				}
+				out = append(out, MaskElem{Node: n})
+			}
+		}
+		return out, budget, true
+	}
+	for n := range m.nodes {
+		if !other.NodeBlocked(n) {
+			if budget--; budget < 0 {
+				return out, budget, false
+			}
+			out = append(out, MaskElem{Node: n})
+		}
+	}
+	return out, budget, true
+}
+
+// AppendDiff is the allocation-aware core of DiffElements: it appends the
+// diff to the provided slices (reusing their capacity) under an explicit
+// element limit, returning the grown slices and whether the diff stayed
+// within the limit. On ok=false the returned slices are the inputs truncated
+// to their original contents' prefix and must not be interpreted as a diff.
+func (m *Mask) AppendDiff(added, removed []MaskElem, other *Mask, limit int) ([]MaskElem, []MaskElem, bool) {
+	a0, r0 := len(added), len(removed)
+	mc, oc := 0, 0
+	if m != nil {
+		mc = m.count
+	}
+	if other != nil {
+		oc = other.count
+	}
+	// Quick reject: the diff has at least |count difference| elements.
+	if d := mc - oc; d > limit || -d > limit {
+		return added[:a0], removed[:r0], false
+	}
+	budget := limit
+	var ok bool
+	if m != nil {
+		if added, budget, ok = m.appendNodeDiff(added, other, budget); !ok {
+			return added[:a0], removed[:r0], false
+		}
+		for e := range m.edges {
+			if other == nil || !other.edges[e] {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				added = append(added, MaskElem{Edge: e, IsEdge: true})
+			}
+		}
+	}
+	if other != nil {
+		if removed, budget, ok = other.appendNodeDiff(removed, m, budget); !ok {
+			return added[:a0], removed[:r0], false
+		}
+		for e := range other.edges {
+			if m == nil || !m.edges[e] {
+				if budget--; budget < 0 {
+					return added[:a0], removed[:r0], false
+				}
+				removed = append(removed, MaskElem{Edge: e, IsEdge: true})
+			}
+		}
+	}
+	// Map iteration order is randomized; sort so the diff (and everything
+	// derived from it, like delta-repair settle counters) is deterministic.
+	// (Bitset node diffs are already ascending, but the sort is cheap on
+	// bounded diffs and keeps one code path.)
+	slices.SortFunc(added[a0:], maskElemCompare)
+	slices.SortFunc(removed[r0:], maskElemCompare)
+	return added, removed, true
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit bit mixer
+// used for mask fingerprints and cache sharding.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the blocked set.
+// Blocked elements are combined commutatively (XOR of per-element mixes,
+// maintained incrementally as elements are blocked), so the fingerprint is
+// independent of insertion order — and of the node-block representation —
+// and costs O(1) to query. A nil or empty mask fingerprints to 0. Masks with
+// equal fingerprints are treated as equal by the SPF cache; the per-element
+// mixing keeps accidental collisions vanishingly unlikely at cache scale.
+func (m *Mask) Fingerprint() uint64 {
+	if m == nil || m.count == 0 {
+		return 0
+	}
+	// Fold the element count in so masks whose XORs cancel still differ.
+	return mix64(m.fp ^ uint64(m.count)<<1 ^ 0x9E3779B97F4A7C15)
+}
+
+// Union returns a new mask blocking everything blocked by m or other. The
+// result keeps m's node representation (promoting on the way if the combined
+// blocked-node count crosses the threshold).
+func (m *Mask) Union(other *Mask) *Mask {
+	c := m.Clone()
+	if other == nil {
+		return c
+	}
+	other.eachBlockedNode(func(n NodeID) { c.BlockNode(n) })
+	for e, v := range other.edges {
+		if v && !c.edges[e] {
+			c.edges[e] = true
+			c.fp ^= edgeMix(e)
+			c.count++
+		}
+	}
+	return c
+}

@@ -213,6 +213,14 @@ func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID
 	// non-array memory traffic.
 	checkNodes := mask.hasNodeBlocks()
 	checkEdges := mask.hasEdgeBlocks()
+	// Hoist the node-block representation too: on bitset-backed masks the
+	// per-arc probe below is a shift+and on a contiguous word array (mbits),
+	// with the map probe (mnodes) only as the small-mask fallback.
+	var mbits []uint64
+	var mnodes map[NodeID]bool
+	if checkNodes {
+		mbits, mnodes = mask.bits, mask.nodes
+	}
 
 	s.seen[src] = s.epoch
 	s.dist[src] = 0
@@ -251,8 +259,14 @@ func (s *Sweep) run(src NodeID, mask *Mask, target NodeID, absorbing func(NodeID
 			if s.settled[v] == s.epoch {
 				continue
 			}
-			if checkNodes && mask.nodes[v] {
-				continue
+			if checkNodes {
+				if mbits != nil {
+					if w := uint(v) >> 6; w < uint(len(mbits)) && mbits[w]>>(uint(v)&63)&1 != 0 {
+						continue
+					}
+				} else if mnodes[v] {
+					continue
+				}
 			}
 			if checkEdges && mask.edges[MakeEdgeID(u, v)] {
 				continue

@@ -172,3 +172,79 @@ func BenchmarkShortestPathEarlyExit(b *testing.B) {
 		_, _ = g.ShortestPath(NodeID(i%200), NodeID((i+1)%200), nil)
 	}
 }
+
+// megascaleLattice builds a W×H grid graph with diagonal shortcuts — a cheap
+// deterministic stand-in for a megascale topology (unit-ish degree ~5,
+// spatially local edges) that costs O(N) to construct, so benchmarks don't
+// pay Waxman generation to measure sweep relaxation.
+func megascaleLattice(w, h int) *Graph {
+	g := New(w * h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.SetPos(id(x, y), Point{X: float64(x), Y: float64(y)})
+			if x+1 < w {
+				_ = g.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				_ = g.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+			if x+1 < w && y+1 < h && (x+y)%3 == 0 {
+				_ = g.AddEdge(id(x, y), id(x+1, y+1), 1.5)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkSweepMaskedMegascale measures the full relaxation sweep over a
+// ~10⁵-node graph with a few thousand blocked nodes — the megascale-study hot
+// path — comparing the map-backed mask representation against the dense
+// bitset. The per-arc NodeBlocked probe is the only difference between the
+// sub-benchmarks.
+func BenchmarkSweepMaskedMegascale(b *testing.B) {
+	const w, h = 320, 320 // 102,400 nodes
+	g := megascaleLattice(w, h)
+	s := g.NewSweep()
+	defer s.Release()
+
+	// Block a dispersed ~2% of nodes (never the source), same set for both
+	// representations.
+	blocked := make([]NodeID, 0, w*h/50)
+	for n := 51; n < w*h; n += 50 {
+		blocked = append(blocked, NodeID(n))
+	}
+	mapMask := &Mask{nodes: make(map[NodeID]bool), edges: map[EdgeID]bool{}}
+	for _, n := range blocked { // bypass promotion: keep the map representation
+		mapMask.nodes[n] = true
+		mapMask.nnodes++
+		mapMask.fp ^= nodeMix(n)
+		mapMask.count++
+	}
+	bitMask := NewMaskWithCapacity(w * h).BlockNodes(blocked...)
+	if mapMask.bits != nil || bitMask.bits == nil {
+		b.Fatal("benchmark masks not in the intended representations")
+	}
+	if mapMask.Fingerprint() != bitMask.Fingerprint() {
+		b.Fatal("benchmark masks disagree")
+	}
+
+	for _, bc := range []struct {
+		name string
+		mask *Mask
+	}{{"map", mapMask}, {"bitset", bitMask}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s.Run(0, bc.mask, nil) // warm CSR + arena outside the timer
+			want := s.SettledCount()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(0, bc.mask, nil)
+			}
+			b.StopTimer()
+			if s.SettledCount() != want {
+				b.Fatalf("settled count drifted: %d vs %d", s.SettledCount(), want)
+			}
+		})
+	}
+}

@@ -293,6 +293,36 @@ func (s *NLevelSession) Recover(f failure.Failure) (*RecoveryReport, error) {
 	}, nil
 }
 
+// SettledWork sums the settled-node work counters across every domain
+// sub-session: enum is candidate-enumeration work (joins, reshapes), heal is
+// failure-recovery sweep work. Both are deterministic, making them the
+// megascale study's CI-stable unit of comparison against a flat session.
+func (s *NLevelSession) SettledWork() (enum, heal int) {
+	for _, ds := range s.sessions {
+		st := ds.session.Stats()
+		enum += st.EnumSettled
+		heal += st.HealSettled
+	}
+	return enum, heal
+}
+
+// SubgraphBytes reports the deterministic memory footprint of the per-domain
+// induced subgraphs the sub-sessions route over — the memory the hierarchy
+// pays on top of the shared full topology in exchange for domain-confined
+// recovery. The sum is O(N·avg-degree) total because every node belongs to
+// exactly one domain (gateways additionally appear in their parent's
+// session).
+func (s *NLevelSession) SubgraphBytes() int64 {
+	var total int64
+	for _, ds := range s.sessions {
+		total += ds.session.Graph().MemoryFootprint()
+	}
+	return total
+}
+
+// NumDomains returns the number of domain sub-sessions.
+func (s *NLevelSession) NumDomains() int { return len(s.sessions) }
+
 // Validate checks every domain session's structural invariants.
 func (s *NLevelSession) Validate() error {
 	for i, ds := range s.sessions {

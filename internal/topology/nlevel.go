@@ -79,16 +79,19 @@ type NLevelTopology struct {
 	Graph   *graph.Graph
 	Domains []NLevelDomain
 	Root    int // index of the root domain (always 0)
-	// domainOf maps every node to its owning domain index.
-	domainOf map[graph.NodeID]int
+	// domainOf maps every node to its owning domain index, densely indexed
+	// by NodeID (node IDs are 0..NumNodes-1 by construction). At megascale a
+	// map here would cost ~50 bytes/node and a hash per recovery-attribution
+	// lookup; the dense slice is 4 bytes/node and an array load.
+	domainOf []int32
 }
 
 // DomainOf returns the index of the domain owning node n, or -1.
 func (t *NLevelTopology) DomainOf(n graph.NodeID) int {
-	if d, ok := t.domainOf[n]; ok {
-		return d
+	if n < 0 || int(n) >= len(t.domainOf) {
+		return -1
 	}
-	return -1
+	return int(t.domainOf[n])
 }
 
 // GenerateNLevel builds the hierarchy: the root domain is a Waxman graph
@@ -110,7 +113,7 @@ func GenerateNLevel(cfg NLevelConfig, rng *RNG) (*NLevelTopology, error) {
 	t := &NLevelTopology{
 		Graph:    g,
 		Root:     0,
-		domainOf: make(map[graph.NodeID]int, g.NumNodes()),
+		domainOf: make([]int32, g.NumNodes()),
 	}
 
 	next := 0
@@ -124,7 +127,7 @@ func GenerateNLevel(cfg NLevelConfig, rng *RNG) (*NLevelTopology, error) {
 				Y: center.Y + (rng.Float64()-0.5)*extent,
 			})
 			nodes[i] = n
-			t.domainOf[n] = id
+			t.domainOf[n] = int32(id)
 		}
 		return nodes
 	}

@@ -206,6 +206,11 @@ func connectifySubset(g *graph.Graph, nodes []graph.NodeID) error {
 	for _, n := range nodes {
 		inSet[n] = true
 	}
+	// Same large-subset escape hatch as Connectify: past the cap the exact
+	// nearest-pair scan gives way to the deterministic centroid pick.
+	if len(nodes) > connectifyExactCap {
+		return joinComponentsCentroid(g, subsetComponents(g, nodes, inSet))
+	}
 	for {
 		comps := subsetComponents(g, nodes, inSet)
 		if len(comps) <= 1 {

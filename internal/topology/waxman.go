@@ -92,11 +92,24 @@ func addDistEdge(g *graph.Graph, u, v graph.NodeID) error {
 	return g.AddEdge(u, v, d)
 }
 
+// connectifyExactCap bounds the exact all-pairs Connectify scan: graphs
+// larger than this use the deterministic centroid-based pair pick instead.
+// The cap sits far above every paper-scale study topology (N ≤ 300, which
+// must keep the exact scan so blessed outputs stay byte-identical) and far
+// below megascale, where an O(comps²·|ci|·|cj|) scan could dominate the
+// whole O(N·deg) generation.
+const connectifyExactCap = 4096
+
 // Connectify joins the connected components of g by repeatedly adding the
 // geometrically shortest edge between the largest component and another
 // component. This mirrors the connectivity post-processing used with random
-// topology generators so that every generated sample is usable.
+// topology generators so that every generated sample is usable. Past
+// connectifyExactCap nodes the exact nearest-pair scan is replaced by a
+// centroid-guided pick (still deterministic, O(N) per component joined).
 func Connectify(g *graph.Graph) error {
+	if g.NumNodes() > connectifyExactCap {
+		return connectifyCentroid(g)
+	}
 	for {
 		comps := g.Components(nil)
 		if len(comps) <= 1 {
@@ -124,6 +137,49 @@ func Connectify(g *graph.Graph) error {
 			return fmt.Errorf("connectify: %w", err)
 		}
 	}
+}
+
+// connectifyCentroid joins components at megascale without the quadratic
+// nearest-pair scan: every minority component attaches to the largest one
+// via (nearest main-component node to the minority centroid) ↔ (nearest
+// minority node to that anchor). One Components pass, one linear scan per
+// join, fully deterministic (ties break on lower node ID via scan order).
+func connectifyCentroid(g *graph.Graph) error {
+	return joinComponentsCentroid(g, g.Components(nil))
+}
+
+// joinComponentsCentroid implements the centroid-guided join over an
+// explicit component list (shared by Connectify and connectifySubset).
+func joinComponentsCentroid(g *graph.Graph, comps [][]graph.NodeID) error {
+	if len(comps) <= 1 {
+		return nil
+	}
+	// Largest component hosts the others; first-listed wins ties
+	// (Components orders by lowest contained node ID).
+	main := 0
+	for i, c := range comps {
+		if len(c) > len(comps[main]) {
+			main = i
+		}
+	}
+	for i, c := range comps {
+		if i == main {
+			continue
+		}
+		var cx, cy float64
+		for _, n := range c {
+			p := g.Pos(n)
+			cx += p.X
+			cy += p.Y
+		}
+		centroid := graph.Point{X: cx / float64(len(c)), Y: cy / float64(len(c))}
+		anchor := nearestTo(g, comps[main], centroid)
+		v := nearestTo(g, c, g.Pos(anchor))
+		if err := addDistEdge(g, anchor, v); err != nil {
+			return fmt.Errorf("connectify (centroid): %w", err)
+		}
+	}
+	return nil
 }
 
 // Stats summarizes a generated topology.
