@@ -58,6 +58,13 @@ type BenchEntry struct {
 	// N: the routed-over graph plus, for the hierarchy, its per-domain
 	// subgraph copies ("megascale-*" only).
 	MemBytes int64 `json:"mem_bytes,omitempty"`
+
+	// RecoveryDistance is the arm's mean per-member RD_R and StateBytes its
+	// mean precomputed-state footprint per trial — the recovery-strategy
+	// testbed's deterministic comparison axes ("strategies-*" only; SMRP
+	// keeps no precomputed state, so its state_bytes is omitted as zero).
+	RecoveryDistance float64 `json:"recovery_distance,omitempty"`
+	StateBytes       int64   `json:"state_bytes,omitempty"`
 }
 
 // benchFigures are the figure regenerations the summary times. Scenario
@@ -177,6 +184,33 @@ func TestWriteBenchSummary(t *testing.T) {
 			})
 		t.Logf("megascale  workers=%d: %.2fs (N=%d settled/event flat=%.1f hier=%.1f)",
 			workers, wall, top.Target, top.Flat.SettledPerEvent(), top.Hier.SettledPerEvent())
+	}
+
+	// Recovery-strategy testbed: one timed run per worker count emits an
+	// entry per arm sharing that run's wall clock. Recovery distance and
+	// state bytes are deterministic (byte-identical across worker counts) —
+	// the same numbers the strategies CI gate asserts over.
+	const strategyTrials = 50
+	for _, workers := range []int{1, 4} {
+		SetExperimentParallelism(workers)
+		start := time.Now()
+		sr, err := RunStrategies(strategyTrials, benchSeed)
+		if err != nil {
+			t.Fatalf("strategies (workers=%d): %v", workers, err)
+		}
+		wall := time.Since(start).Seconds()
+		for _, arm := range sr.Arms {
+			sum.Entries = append(sum.Entries, BenchEntry{
+				Figure:           "strategies-" + arm.Name,
+				Scenarios:        strategyTrials,
+				Workers:          workers,
+				WallSeconds:      wall,
+				RecoveryDistance: arm.RD.Mean,
+				StateBytes:       arm.StateBytes,
+			})
+		}
+		t.Logf("strategies workers=%d: %.2fs (mean RD smrp=%.4f mrc=%.4f detour=%.4f)",
+			workers, wall, sr.Arms[0].RD.Mean, sr.Arms[1].RD.Mean, sr.Arms[2].RD.Mean)
 	}
 
 	// Serving capacity: total HTTP joins completed across concurrent

@@ -9,7 +9,8 @@
 //	smrp-sim -fig all                  # everything, EXPERIMENTS.md style
 //
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
-// The multi-failure chaos harness runs via -fig chaos, the sharded
+// The multi-failure chaos harness runs via -fig chaos, the three-way
+// recovery-strategy testbed via -fig strategies, the sharded
 // session-throughput study via -fig throughput, and the flat-vs-hierarchical
 // scaling study via -fig megascale (none are part of "all").
 //
@@ -74,7 +75,7 @@ func runCtx(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	profFlags := prof.Register(fs)
 	var (
-		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|throughput|megascale|all (chaos, throughput and megascale run only when named)")
+		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|strategies|throughput|megascale|all (chaos, strategies, throughput and megascale run only when named)")
 		topos    = fs.Int("topos", 10, "random topologies per sweep point")
 		sets     = fs.Int("sets", 10, "member sets per topology")
 		runs     = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
@@ -281,6 +282,22 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		printSPF("chaos")
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("chaos: %d invariant violations", len(res.Violations))
+		}
+	}
+	// The comparative restoration testbed runs only when explicitly
+	// requested: it plays the chaos workload three-way (SMRP vs MRC backup
+	// configurations vs precomputed detours) and, like chaos, stays out of
+	// "all" to keep the blessed -fig all output stable.
+	if strings.EqualFold(*fig, "strategies") {
+		ran = true
+		res, err := experiment.RunStrategiesCtx(ctx, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		printSPF("strategies")
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("strategies: %d invariant violations", len(res.Violations))
 		}
 	}
 	if !ran {

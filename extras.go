@@ -118,6 +118,11 @@ type (
 	NLevelResult = experiment.NLevelResult
 	// ChaosResult is the multi-failure chaos harness summary.
 	ChaosResult = experiment.ChaosResult
+	// StrategiesResult is the three-way recovery-strategy testbed summary.
+	StrategiesResult = experiment.StrategiesResult
+	// StrategyArm is one strategy's aggregate outcome within a
+	// StrategiesResult.
+	StrategyArm = experiment.StrategyArm
 	// ThroughputResult is the sharded session-throughput study summary.
 	ThroughputResult = experiment.ThroughputResult
 	// MegascaleResult is the flat-vs-hierarchical scaling study summary.
@@ -235,6 +240,21 @@ func RunChaos(trials int, seed uint64) (*ChaosResult, error) {
 // RunChaosCtx is RunChaos under a caller-supplied context.
 func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, error) {
 	return experiment.RunChaosCtx(ctx, trials, seed)
+}
+
+// RunStrategies plays seeded chaos schedules three-way — SMRP local detours
+// vs MRC backup configurations vs Bhosle–Gonzalez precomputed detours —
+// through the RecoveryStrategy seam, checking the chaos invariant oracle
+// after every event for every arm, and reports recovery distance,
+// disruption, settled-node work (precompute vs recovery time) and
+// precomputed-state bytes per strategy.
+func RunStrategies(trials int, seed uint64) (*StrategiesResult, error) {
+	return experiment.RunStrategies(trials, seed)
+}
+
+// RunStrategiesCtx is RunStrategies under a caller-supplied context.
+func RunStrategiesCtx(ctx context.Context, trials int, seed uint64) (*StrategiesResult, error) {
+	return experiment.RunStrategiesCtx(ctx, trials, seed)
 }
 
 // RunThroughput advances many independent sessions concurrently on one

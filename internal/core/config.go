@@ -97,6 +97,16 @@ type Config struct {
 
 	// SHRMode selects eager or deferred SHR maintenance.
 	SHRMode SHRMode
+
+	// Strategy selects the failure-recovery implementation. nil (the
+	// default) is SMRP's local-detour recovery, unchanged from every prior
+	// release; NewSMRPStrategy pins the same behavior explicitly through
+	// the strategy seam, and the comparative baselines (MRC backup
+	// configurations, Bhosle–Gonzalez precomputed detours) plug in here.
+	// A strategy instance is bound to one session: NewSession calls
+	// Strategy.Precompute and the session re-invokes it after every tree
+	// mutation, so do not share an instance between sessions.
+	Strategy RecoveryStrategy
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -143,6 +153,13 @@ type Stats struct {
 	CandidatesSeen int // total candidates examined during path selections
 	Parks          int // members degraded to the parked state (partitioned)
 	Readmissions   int // parked members automatically re-admitted
+
+	// StrategyFallbacks counts recoveries where the configured strategy's
+	// precomputed answer was missing or invalidated by the accumulated
+	// failures and RecoverScaffold's live nearest-survivor search stood in
+	// — the strategies study's "table miss" column. Always 0 for the
+	// default (SMRP) recovery, which is reactive by design.
+	StrategyFallbacks int
 
 	// BatchJoins counts members admitted through JoinBatch (a subset of
 	// Joins). EnumSettled tallies nodes settled by candidate-enumeration

@@ -113,7 +113,32 @@ func (s *Session) RecoverGraft(p graph.Path) error {
 	delete(s.parked, m)
 	s.shr.refresh(s.tree, s.tree.TopAncestor(m))
 	s.recordUpSHR(m)
+	s.notifyStrategy()
 	return nil
+}
+
+// Recover restores the session after the given failure set using the
+// configured RecoveryStrategy (SMRP's local detours by default). The
+// failures are folded into the session's accumulated mask before recovery
+// begins, so overlapping failures compose and a correlated batch (an SRLG
+// cut) never routes a detour over a sibling cut discovered one step later.
+// It is the blessed strategy-aware recovery entry point; Heal and HealSet
+// are the pre-strategy names for the same operation.
+func (s *Session) Recover(fs ...failure.Failure) (*HealReport, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("core: recover: %w: empty failure set", failure.ErrBadSchedule)
+	}
+	// Reject before mutating: a batch that takes the source down has no
+	// recovery (FlushDead would surface ErrSourceFailed), and folding it
+	// into the mask first would corrupt the session on a *rejected* request
+	// — the caller sees an error, yet every later Join finds the source
+	// blocked. Callers that want a source failure to accumulate anyway
+	// (hierarchy's domain-down bookkeeping) call ApplyFailure directly.
+	if failure.TakesDownNode(fs, s.tree.Source()) {
+		return nil, failure.ErrSourceFailed
+	}
+	s.ApplyFailure(fs...)
+	return s.dispatchRecover(fs)
 }
 
 // Heal restores the session after the given failure using SMRP's local
@@ -130,28 +155,26 @@ func (s *Session) RecoverGraft(p graph.Path) error {
 //
 // The failed component remains failed: subsequent joins and reshapes treat
 // the underlying graph as degraded automatically.
+//
+// Deprecated: Heal is the pre-strategy name of single-failure recovery. Use
+// Recover, which dispatches to the configured RecoveryStrategy; with the
+// default (SMRP) strategy the two are bit-identical.
 func (s *Session) Heal(f failure.Failure) (*HealReport, error) {
-	return s.HealSet([]failure.Failure{f})
+	return s.Recover(f)
 }
 
 // HealSet is Heal for a correlated batch (an SRLG cut): every failure in fs
 // is applied atomically before recovery begins, so detours never route over
 // a sibling cut discovered one step later.
+//
+// Deprecated: HealSet is the pre-strategy name of batch recovery. Use
+// Recover, which dispatches to the configured RecoveryStrategy; with the
+// default (SMRP) strategy the two are bit-identical.
 func (s *Session) HealSet(fs []failure.Failure) (*HealReport, error) {
 	if len(fs) == 0 {
 		return nil, fmt.Errorf("core: heal: %w: empty failure set", failure.ErrBadSchedule)
 	}
-	// Reject before mutating: a batch that takes the source down has no
-	// recovery (FlushDead would surface ErrSourceFailed), and folding it
-	// into the mask first would corrupt the session on a *rejected* request
-	// — the caller sees an error, yet every later Join finds the source
-	// blocked. Callers that want a source failure to accumulate anyway
-	// (hierarchy's domain-down bookkeeping) call ApplyFailure directly.
-	if failure.TakesDownNode(fs, s.tree.Source()) {
-		return nil, failure.ErrSourceFailed
-	}
-	s.ApplyFailure(fs...)
-	return s.reconcile(fs)
+	return s.Recover(fs...)
 }
 
 // Reconcile re-runs failure recovery against the session's accumulated mask
@@ -159,9 +182,10 @@ func (s *Session) HealSet(fs []failure.Failure) (*HealReport, error) {
 // current mask and re-grafts (or parks) the affected members — the repair
 // path for a session whose mask changed while recovery was suspended (e.g. a
 // recovery domain whose agent was down while further failures accumulated).
-// It is a no-op on a healthy session with an intact tree.
+// It is a no-op on a healthy session with an intact tree. Like Recover it
+// dispatches through the configured RecoveryStrategy (fs = nil).
 func (s *Session) Reconcile() (*HealReport, error) {
-	return s.reconcile(nil)
+	return s.dispatchRecover(nil)
 }
 
 // reconcile is the shared heal engine: flush dead state under the
@@ -276,6 +300,7 @@ func (s *Session) reconcile(fs []failure.Failure) (*HealReport, error) {
 			s.recordUpSHR(m)
 		}
 	}
+	s.notifyStrategy()
 	return rep, nil
 }
 

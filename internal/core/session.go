@@ -87,7 +87,22 @@ func NewSession(g *graph.Graph, source graph.NodeID, cfg Config) (*Session, erro
 	}
 	s.shr = newSHRTable(cfg.SHRMode, &s.stats)
 	s.shr.init(tree)
+	if cfg.Strategy != nil {
+		if err := cfg.Strategy.Precompute(s); err != nil {
+			return nil, fmt.Errorf("core: strategy %s precompute: %w", cfg.Strategy.Name(), err)
+		}
+	}
 	return s, nil
+}
+
+// Strategy returns the session's active recovery strategy: the configured
+// one, or a fresh SMRP (local-detour) strategy bound to this session when
+// none was set.
+func (s *Session) Strategy() RecoveryStrategy {
+	if s.cfg.Strategy != nil {
+		return s.cfg.Strategy
+	}
+	return &smrpStrategy{s: s}
 }
 
 // Tree returns the session's multicast tree. Callers must not mutate it
@@ -233,6 +248,7 @@ func (s *Session) join(nr graph.NodeID, bs *batchState) (*JoinResult, error) {
 	if d, err := s.tree.DelayTo(nr); err == nil {
 		res.Delay = d
 	}
+	s.notifyStrategy()
 	return res, nil
 }
 
@@ -346,6 +362,7 @@ func (s *Session) Leave(m graph.NodeID) error {
 	delete(s.lastUpSHR, m)
 	s.stats.Leaves++
 	s.shr.refresh(s.tree, top)
+	s.notifyStrategy()
 	return nil
 }
 
@@ -498,5 +515,6 @@ func (s *Session) reshapeMember(m graph.NodeID) (bool, error) {
 	s.stats.Reshapes++
 	s.shr.refresh(s.tree, oldTop, s.tree.TopAncestor(m))
 	s.recordUpSHR(m)
+	s.notifyStrategy()
 	return true, nil
 }

@@ -34,21 +34,32 @@ type ProtectionResult struct {
 	CostSMRP       metrics.Summary
 	CostRedundant  metrics.Summary
 	CostDependable metrics.Summary
+	// Per-member delivery-delay ratio (Cho & Breen's cost/delay-ratio
+	// metric): each scheme's source→member delivery delay over the unicast
+	// shortest-path delay. SPF is 1 by construction; SMRP pays up to
+	// 1+DThresh for sharing reduction; the preplanned schemes pay whatever
+	// their protected structures impose.
+	DelaySMRP       metrics.Summary
+	DelayRedundant  metrics.Summary
+	DelayDependable metrics.Summary
 }
 
 // Render prints the comparison.
 func (r *ProtectionResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Reactive vs preplanned protection (biconnected topologies, %d runs)\n", r.Runs)
-	fmt.Fprintf(&b, "  %-28s %-22s %-14s %-12s\n", "scheme", "worst-case RD", "coverage", "cost / SPF")
-	fmt.Fprintf(&b, "  %-28s %8.4f ± %-11.4f %-14s %8.3f ± %.3f\n", "SPF + global detour",
-		r.RDSPF.Mean, r.RDSPF.CI95, "reactive", 1.0, 0.0)
-	fmt.Fprintf(&b, "  %-28s %8.4f ± %-11.4f %-14s %8.3f ± %.3f\n", "SMRP + local detour",
-		r.RDSMRP.Mean, r.RDSMRP.CI95, "reactive", r.CostSMRP.Mean, r.CostSMRP.CI95)
-	fmt.Fprintf(&b, "  %-28s %8.4f   %-11s %13.1f%% %8.3f ± %.3f\n", "redundant trees (Médard)",
-		0.0, "", 100*r.RedundantCoverage, r.CostRedundant.Mean, r.CostRedundant.CI95)
-	fmt.Fprintf(&b, "  %-28s %8.4f   %-11s %13.1f%% %8.3f ± %.3f\n", "dependable conns (Han-Shin)",
-		0.0, "", 100*r.DependableCoverage, r.CostDependable.Mean, r.CostDependable.CI95)
+	fmt.Fprintf(&b, "  %-28s %-22s %-14s %-16s %-12s\n", "scheme", "worst-case RD", "coverage", "cost / SPF", "delay / SPF")
+	fmt.Fprintf(&b, "  %-28s %8.4f ± %-11.4f %-14s %8.3f ± %-6.3f %8.3f ± %.3f\n", "SPF + global detour",
+		r.RDSPF.Mean, r.RDSPF.CI95, "reactive", 1.0, 0.0, 1.0, 0.0)
+	fmt.Fprintf(&b, "  %-28s %8.4f ± %-11.4f %-14s %8.3f ± %-6.3f %8.3f ± %.3f\n", "SMRP + local detour",
+		r.RDSMRP.Mean, r.RDSMRP.CI95, "reactive", r.CostSMRP.Mean, r.CostSMRP.CI95,
+		r.DelaySMRP.Mean, r.DelaySMRP.CI95)
+	fmt.Fprintf(&b, "  %-28s %8.4f   %-11s %13.1f%% %8.3f ± %-6.3f %8.3f ± %.3f\n", "redundant trees (Médard)",
+		0.0, "", 100*r.RedundantCoverage, r.CostRedundant.Mean, r.CostRedundant.CI95,
+		r.DelayRedundant.Mean, r.DelayRedundant.CI95)
+	fmt.Fprintf(&b, "  %-28s %8.4f   %-11s %13.1f%% %8.3f ± %-6.3f %8.3f ± %.3f\n", "dependable conns (Han-Shin)",
+		0.0, "", 100*r.DependableCoverage, r.CostDependable.Mean, r.CostDependable.CI95,
+		r.DelayDependable.Mean, r.DelayDependable.CI95)
 	return b.String()
 }
 
@@ -60,6 +71,7 @@ type protRun struct {
 	hasCost                    bool
 	costSMRP, costRed, costDep float64
 	rdSPF, rdSMRP              []float64
+	dlySMRP, dlyRed, dlyDep    []float64
 	redOK, redTotal            int
 	depOK, depTotal            int
 }
@@ -110,6 +122,7 @@ func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionRe
 		if err != nil {
 			return nil, err
 		}
+		conns := make(map[graph.NodeID]*protect.DependableConnection, len(members))
 		for _, m := range members {
 			if err := spf.Join(m); err != nil {
 				return nil, err
@@ -120,8 +133,37 @@ func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionRe
 			if err := rt.Subscribe(m); err != nil {
 				return nil, err
 			}
-			if _, err := dep.Join(m); err != nil {
+			c, err := dep.Join(m)
+			if err != nil {
 				return nil, err
+			}
+			conns[m] = c
+		}
+
+		// Cho & Breen delay ratio: each scheme's delivery delay to m over the
+		// unicast shortest-path delay (the SPF tree's, by construction).
+		// Redundant trees deliver on both trees, so the member hears the
+		// earlier copy; a dependable connection delivers on its primary.
+		for _, m := range members {
+			base, err := spf.Tree().DelayTo(m)
+			if err != nil || base <= 0 {
+				continue
+			}
+			if d, err := smrp.Tree().DelayTo(m); err == nil {
+				pr.dlySMRP = append(pr.dlySMRP, d/base)
+			}
+			dRed, errR := rt.Red.DelayTo(m)
+			dBlue, errB := rt.Blue.DelayTo(m)
+			switch {
+			case errR == nil && errB == nil:
+				pr.dlyRed = append(pr.dlyRed, min(dRed, dBlue)/base)
+			case errR == nil:
+				pr.dlyRed = append(pr.dlyRed, dRed/base)
+			case errB == nil:
+				pr.dlyRed = append(pr.dlyRed, dBlue/base)
+			}
+			if w, err := conns[m].Primary.Weight(g); err == nil {
+				pr.dlyDep = append(pr.dlyDep, w/base)
 			}
 		}
 
@@ -183,6 +225,7 @@ func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionRe
 	}
 
 	var rdSMRP, rdSPF, costSMRP, costRed, costDep metrics.Sample
+	var dlySMRP, dlyRed, dlyDep metrics.Sample
 	var redOK, redTotal, depOK, depTotal int
 	for _, pr := range runResults {
 		if !pr.ok {
@@ -199,6 +242,9 @@ func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionRe
 		for _, rd := range pr.rdSMRP {
 			rdSMRP.Add(rd)
 		}
+		dlySMRP.AddAll(pr.dlySMRP...)
+		dlyRed.AddAll(pr.dlyRed...)
+		dlyDep.AddAll(pr.dlyDep...)
 		redOK += pr.redOK
 		redTotal += pr.redTotal
 		depOK += pr.depOK
@@ -221,6 +267,15 @@ func RunProtectionCtx(ctx context.Context, runs int, seed uint64) (*ProtectionRe
 		return nil, err
 	}
 	if out.CostDependable, err = costDep.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.DelaySMRP, err = dlySMRP.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.DelayRedundant, err = dlyRed.Summarize(); err != nil {
+		return nil, err
+	}
+	if out.DelayDependable, err = dlyDep.Summarize(); err != nil {
 		return nil, err
 	}
 	if redTotal > 0 {

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStrategiesAcceptance is the PR's acceptance gate for the comparative
+// restoration testbed: 200 seeded chaos schedules played three-way (SMRP,
+// MRC backup configurations, precomputed detours) must produce zero
+// invariant violations in every arm, and the aggregate must be
+// byte-identical between 1 worker and 8 workers.
+func TestStrategiesAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategies acceptance is a long test")
+	}
+	const trials, seed = 200, 2005
+
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	SetParallelism(1)
+	seq, err := RunStrategies(trials, seed)
+	if err != nil {
+		t.Fatalf("RunStrategies(workers=1): %v", err)
+	}
+	SetParallelism(8)
+	par, err := RunStrategies(trials, seed)
+	if err != nil {
+		t.Fatalf("RunStrategies(workers=8): %v", err)
+	}
+
+	if len(seq.Violations) > 0 {
+		t.Errorf("invariant violations with 1 worker: %d", len(seq.Violations))
+		for i, v := range seq.Violations {
+			if i == 10 {
+				t.Errorf("… %d more", len(seq.Violations)-10)
+				break
+			}
+			t.Error(v)
+		}
+	}
+	if a, b := seq.Render(), par.Render(); a != b {
+		t.Errorf("strategies output differs between 1 and 8 workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", a, b)
+	}
+
+	checkStrategiesSanity(t, seq)
+}
+
+// TestStrategiesSmoke is the short-mode gate: a reduced three-way run must
+// stay violation-free and exhibit each strategy's defining signature.
+func TestStrategiesSmoke(t *testing.T) {
+	res, err := RunStrategies(15, 2005)
+	if err != nil {
+		t.Fatalf("RunStrategies: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Errorf("invariant violations: %d (first: %s)", len(res.Violations), res.Violations[0])
+	}
+	checkStrategiesSanity(t, res)
+}
+
+// checkStrategiesSanity asserts the structural expectations that hold at any
+// trial count: three arms in fixed order, every arm recovering members and
+// exercising the park/readmit machinery, SMRP all-reactive (no precomputed
+// state, no table to miss), and both baselines carrying precomputed state
+// they actually consulted.
+func checkStrategiesSanity(t *testing.T, res *StrategiesResult) {
+	t.Helper()
+	if len(res.Arms) != 3 {
+		t.Fatalf("arms = %d, want 3", len(res.Arms))
+	}
+	for i, want := range []string{"smrp", "mrc", "detour"} {
+		if res.Arms[i].Name != want {
+			t.Fatalf("arm %d = %q, want %q", i, res.Arms[i].Name, want)
+		}
+	}
+	if res.Failures == 0 || res.Repairs == 0 {
+		t.Errorf("degenerate schedule mix: failures=%d repairs=%d", res.Failures, res.Repairs)
+	}
+	for _, a := range res.Arms {
+		if a.Recovered == 0 {
+			t.Errorf("%s: no member ever recovered", a.Name)
+		}
+		if a.Parks == 0 || a.Readmitted == 0 {
+			t.Errorf("%s: degraded-state machinery never exercised: parks=%d readmitted=%d",
+				a.Name, a.Parks, a.Readmitted)
+		}
+		if a.RD.Mean < 0 {
+			t.Errorf("%s: negative mean RD %v", a.Name, a.RD.Mean)
+		}
+	}
+	smrp, mrc, detour := res.Arms[0], res.Arms[1], res.Arms[2]
+	if smrp.StateBytes != 0 || smrp.PrecomputeSettled != 0 || smrp.Fallbacks != 0 {
+		t.Errorf("smrp arm must be all-reactive: state=%d precompute=%d fallbacks=%d",
+			smrp.StateBytes, smrp.PrecomputeSettled, smrp.Fallbacks)
+	}
+	if smrp.RecoverySettled == 0 {
+		t.Error("smrp arm settled no nodes at recovery time")
+	}
+	for _, a := range []StrategyArm{mrc, detour} {
+		if a.StateBytes == 0 {
+			t.Errorf("%s: no precomputed state accounted", a.Name)
+		}
+		if a.PrecomputeSettled == 0 {
+			t.Errorf("%s: no precompute-time settled work accounted", a.Name)
+		}
+		// The baselines' point: precomputation displaces recovery-time work.
+		if a.RecoverySettled >= smrp.RecoverySettled {
+			t.Errorf("%s: recovery-time settled %d not below smrp's %d",
+				a.Name, a.RecoverySettled, smrp.RecoverySettled)
+		}
+	}
+}
+
+// TestStrategiesCancellation verifies that a cancelled context aborts the
+// sweep with ctx.Err() instead of running all trials.
+func TestStrategiesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunStrategiesCtx(ctx, 50, 2005); err != context.Canceled {
+		t.Fatalf("RunStrategiesCtx(cancelled) error = %v, want context.Canceled", err)
+	}
+}

@@ -25,8 +25,10 @@ import (
 	"slices"
 
 	"smrp/internal/core"
+	"smrp/internal/detour"
 	"smrp/internal/failure"
 	"smrp/internal/graph"
+	"smrp/internal/mrc"
 	"smrp/internal/multicast"
 	"smrp/internal/spfbase"
 	"smrp/internal/topology"
@@ -137,6 +139,27 @@ func NewSession(net *Network, source NodeID, cfg Config) (*Session, error) {
 // ComputeSHR returns the paper's path-sharing metric for every on-tree node
 // of a multicast tree.
 func ComputeSHR(t *Tree) map[NodeID]int { return core.ComputeSHR(t) }
+
+// RecoveryStrategy is the pluggable failure-restoration seam: it decides how
+// a session reconnects members after persistent failures. Install one via
+// Config.Strategy (nil keeps SMRP's local-detour recovery); instances are
+// bound to a single session.
+type RecoveryStrategy = core.RecoveryStrategy
+
+// NewSMRPStrategy returns the paper's local-detour recovery as an explicit
+// strategy — bit-identical to a session with no strategy configured.
+func NewSMRPStrategy() RecoveryStrategy { return core.NewSMRPStrategy() }
+
+// NewMRCStrategy returns the MRC backup-configurations baseline: k
+// precomputed routing configurations, each isolating a disjoint node class;
+// recovery switches affected members onto the configuration isolating the
+// failed component (k < 1 selects the package default).
+func NewMRCStrategy(k int) RecoveryStrategy { return mrc.New(k) }
+
+// NewDetourStrategy returns the Bhosle–Gonzalez precomputed-detour baseline:
+// every on-tree node precomputes, at graft time, the detour it would use if
+// its parent failed; recovery is a table lookup plus a graft.
+func NewDetourStrategy() RecoveryStrategy { return detour.New() }
 
 // Baseline aliases.
 type (
