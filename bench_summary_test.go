@@ -56,7 +56,8 @@ type BenchEntry struct {
 	SettledPerEvent float64 `json:"settled_per_event,omitempty"`
 	// MemBytes is the arm's deterministic memory accounting at the largest
 	// N: the routed-over graph plus, for the hierarchy, its per-domain
-	// subgraph copies ("megascale-*" only).
+	// subgraph copies ("megascale-*"), or the fleet's mean per-group
+	// standing bytes ("multigroup").
 	MemBytes int64 `json:"mem_bytes,omitempty"`
 
 	// RecoveryDistance is the arm's mean per-member RD_R and StateBytes its
@@ -184,6 +185,58 @@ func TestWriteBenchSummary(t *testing.T) {
 			})
 		t.Logf("megascale  workers=%d: %.2fs (N=%d settled/event flat=%.1f hier=%.1f)",
 			workers, wall, top.Target, top.Flat.SettledPerEvent(), top.Hier.SettledPerEvent())
+	}
+
+	// Million-node tier: the hierarchical arm alone (the flat control's
+	// dense admission work is exactly what this tier retires) at N=10^6,
+	// timed once at workers=4. Settled-per-event stays domain-bounded and
+	// the byte counters are deterministic; the wall clock records what a
+	// full generate/freeze/admit/recover cycle on a million-node graph
+	// costs on this machine.
+	{
+		SetExperimentParallelism(4)
+		start := time.Now()
+		hr, err := RunMegascaleHier([]int{1_000_000}, 8, benchSeed)
+		if err != nil {
+			t.Fatalf("megascale-1m: %v", err)
+		}
+		wall := time.Since(start).Seconds()
+		top := hr.Rows[len(hr.Rows)-1]
+		sum.Entries = append(sum.Entries, BenchEntry{
+			Figure: "megascale-1m-hier", Scenarios: 1, Workers: 4,
+			WallSeconds:     wall,
+			SettledPerEvent: top.Hier.SettledPerEvent(),
+			MemBytes:        top.Hier.GraphBytes + top.Hier.SessionBytes,
+		})
+		t.Logf("megascale-1m workers=4: %.2fs (settled/event %.1f)",
+			wall, top.Hier.SettledPerEvent())
+	}
+
+	// Multigroup fleet: thousands of Zipf-profiled sparse sessions on one
+	// shared frozen topology and one shared SPF cache, at the CI smoke
+	// shape. Joins/sec is admitted receivers over this machine's wall
+	// clock; the standing-bytes mean is deterministic.
+	const mgGroups, mgMax, mgNodes = 200, 32, 5000
+	for _, workers := range []int{1, 4} {
+		SetExperimentParallelism(workers)
+		start := time.Now()
+		mg, err := RunMultigroup(mgGroups, mgMax, mgNodes, benchSeed)
+		if err != nil {
+			t.Fatalf("multigroup (workers=%d): %v", workers, err)
+		}
+		wall := time.Since(start).Seconds()
+		sum.Entries = append(sum.Entries, BenchEntry{
+			Figure:          "multigroup",
+			Scenarios:       mgGroups,
+			Workers:         workers,
+			WallSeconds:     wall,
+			JoinsPerSec:     float64(mg.Members) / wall,
+			EventsPerSec:    float64(mg.Events) / wall,
+			SettledPerEvent: mg.SettledPerEvent(),
+			MemBytes:        mg.BytesMean(),
+		})
+		t.Logf("multigroup workers=%d: %.2fs (%.0f joins/sec, mean standing %dB)",
+			workers, wall, float64(mg.Members)/wall, mg.BytesMean())
 	}
 
 	// Recovery-strategy testbed: one timed run per worker count emits an

@@ -11,8 +11,10 @@
 // Figures: 7, 8, 9, 10, degree10, latency, hierarchy, ablations, all.
 // The multi-failure chaos harness runs via -fig chaos, the three-way
 // recovery-strategy testbed via -fig strategies, the sharded
-// session-throughput study via -fig throughput, and the flat-vs-hierarchical
-// scaling study via -fig megascale (none are part of "all").
+// session-throughput study via -fig throughput, the flat-vs-hierarchical
+// scaling study via -fig megascale (-hieronly skips the flat arm, admitting
+// the N=10⁶ tier), and the thousands-of-groups shared-topology study via
+// -fig multigroup (none are part of "all").
 //
 // Scenarios within a figure execute on a deterministic parallel runner
 // (-workers, default GOMAXPROCS). Output is bit-identical for every worker
@@ -75,7 +77,7 @@ func runCtx(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("smrp-sim", flag.ContinueOnError)
 	profFlags := prof.Register(fs)
 	var (
-		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|strategies|throughput|megascale|all (chaos, strategies, throughput and megascale run only when named)")
+		fig      = fs.String("fig", "all", "which experiment to run: 7|8|9|10|degree10|latency|hierarchy|ablations|churn|protection|nlevel|chaos|strategies|throughput|megascale|multigroup|all (chaos, strategies, throughput, megascale and multigroup run only when named)")
 		topos    = fs.Int("topos", 10, "random topologies per sweep point")
 		sets     = fs.Int("sets", 10, "member sets per topology")
 		runs     = fs.Int("runs", 10, "runs for the latency/hierarchy studies")
@@ -83,6 +85,10 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		sessions = fs.Int("sessions", 10, "concurrent sessions for the throughput study")
 		sizes    = fs.String("sizes", "10000,50000,100000", "comma-separated network sizes for the megascale study")
 		groups   = fs.Int("groups", 32, "receivers per arm in the megascale study")
+		hieronly = fs.Bool("hieronly", false, "megascale study: skip the flat control arm (admits sizes up to 1000000)")
+		mgroups  = fs.Int("mgroups", experiment.DefaultMultigroupGroups, "concurrent groups for the multigroup study")
+		mgsize   = fs.Int("mgsize", experiment.DefaultMultigroupMax, "largest (rank-0) group size on the multigroup Zipf profile")
+		mgnodes  = fs.Int("mgnodes", experiment.DefaultMultigroupNodes, "shared-topology size for the multigroup study")
 		seed     = fs.Uint64("seed", 2005, "base RNG seed")
 		csv      = fs.String("csv", "", "also write machine-readable results to this file (figs 7-10, degree10, ablations)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (output is identical for any value)")
@@ -262,12 +268,32 @@ func runCtx(ctx context.Context, args []string) (err error) {
 		if err != nil {
 			return err
 		}
-		res, err := experiment.RunMegascaleCtx(ctx, ns, *groups, *seed)
+		run := experiment.RunMegascaleCtx
+		if *hieronly {
+			run = experiment.RunMegascaleHierCtx
+		}
+		res, err := run(ctx, ns, *groups, *seed)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
 		printSPF("megascale")
+	}
+	// The multigroup study runs only when explicitly requested: thousands of
+	// sparse-storage sessions with Zipf-profiled memberships on one shared
+	// megascale topology and one shared SPF cache. Like megascale it stays
+	// out of "all" to keep the blessed -fig all output stable.
+	if strings.EqualFold(*fig, "multigroup") {
+		ran = true
+		res, err := experiment.RunMultigroupCtx(ctx, *mgroups, *mgsize, *mgnodes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		printSPF("multigroup")
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("multigroup: %d integrity violations", len(res.Violations))
+		}
 	}
 	// The chaos study runs only when explicitly requested: it is a
 	// correctness harness, not one of the paper's figures, and keeping it

@@ -35,7 +35,7 @@ func TestPublicSentinels(t *testing.T) {
 	if _, err := sess.Join(4); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sess.HealSet(smrp.SRLG(net, 4))
+	rep, err := sess.Recover(smrp.SRLG(net, 4)...)
 	if err != nil {
 		t.Fatal(err)
 	}

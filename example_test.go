@@ -28,7 +28,7 @@ func Example_quickstart() {
 		}
 	}
 	// The link A-D fails; D recovers by connecting to its neighbor C.
-	rep, err := sess.Heal(smrp.LinkDown(1, 4))
+	rep, err := sess.Recover(smrp.LinkDown(1, 4))
 	if err != nil {
 		log.Fatal(err)
 	}

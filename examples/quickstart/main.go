@@ -61,9 +61,9 @@ func run() error {
 	}
 	fmt.Printf("\ninjecting %v — disconnects %v\n", f, smrp.DisconnectedMembers(sess.Tree(), f.Mask()))
 
-	// 5. Heal with local detours: each cut member reconnects to the nearest
+	// 5. Recover with local detours: each cut member reconnects to the nearest
 	// unaffected on-tree node instead of waiting for routing to reconverge.
-	rep, err := sess.Heal(f)
+	rep, err := sess.Recover(f)
 	if err != nil {
 		return err
 	}

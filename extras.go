@@ -127,6 +127,9 @@ type (
 	ThroughputResult = experiment.ThroughputResult
 	// MegascaleResult is the flat-vs-hierarchical scaling study summary.
 	MegascaleResult = experiment.MegascaleResult
+	// MultigroupResult is the thousands-of-groups shared-topology study
+	// summary.
+	MultigroupResult = experiment.MultigroupResult
 )
 
 // RunFig7 reproduces Figure 7 (5 topologies, default parameters).
@@ -284,6 +287,34 @@ func RunMegascale(sizes []int, groups int, seed uint64) (*MegascaleResult, error
 // RunMegascaleCtx is RunMegascale under a caller-supplied context.
 func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
 	return experiment.RunMegascaleCtx(ctx, sizes, groups, seed)
+}
+
+// RunMegascaleHier is the hierarchical-only megascale tier: the same
+// membership and branch-cut schedule with the flat control arm skipped,
+// which is what admits sizes up to N=10⁶ within a CI-sized budget (the
+// hierarchy's per-event work stays domain-bounded at any N).
+func RunMegascaleHier(sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return experiment.RunMegascaleHier(sizes, groups, seed)
+}
+
+// RunMegascaleHierCtx is RunMegascaleHier under a caller-supplied context.
+func RunMegascaleHierCtx(ctx context.Context, sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return experiment.RunMegascaleHierCtx(ctx, sizes, groups, seed)
+}
+
+// RunMultigroup drives thousands of concurrent multicast groups — one
+// sparse-storage session each, membership sizes on a Zipf popularity profile
+// — over ONE shared megascale topology and ONE shared SPF cache, reporting
+// deterministic per-group standing bytes, settled work per recovery event,
+// and an in-study dense-twin comparison. Output is byte-identical for any
+// worker count.
+func RunMultigroup(groups, maxMembers, nodes int, seed uint64) (*MultigroupResult, error) {
+	return experiment.RunMultigroup(groups, maxMembers, nodes, seed)
+}
+
+// RunMultigroupCtx is RunMultigroup under a caller-supplied context.
+func RunMultigroupCtx(ctx context.Context, groups, maxMembers, nodes int, seed uint64) (*MultigroupResult, error) {
+	return experiment.RunMultigroupCtx(ctx, groups, maxMembers, nodes, seed)
 }
 
 // DefaultExperimentBase returns the paper's default evaluation setup.

@@ -11,7 +11,7 @@ import (
 // denseSHRFor computes a fresh dense SHR table for t, the shape the
 // enumerators consume since the map-based table was retired.
 func denseSHRFor(t *multicast.Tree) shrVals {
-	vals, _ := computeSHRInto(t, nil, nil)
+	vals, _ := computeSHRInto(t, shrVals{}, nil)
 	return vals
 }
 

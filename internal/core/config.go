@@ -73,6 +73,47 @@ func (m SHRMode) String() string {
 	}
 }
 
+// TreeStorage selects the session's tree-state backend.
+type TreeStorage int
+
+// Tree-storage modes. The zero value (StorageAuto) preserves historical
+// behaviour on every pre-existing configuration: topologies below
+// SparseNodeThreshold get the dense backend, which is byte-identical to all
+// prior releases.
+const (
+	// StorageAuto picks dense storage below SparseNodeThreshold nodes and
+	// sparse storage at or above it.
+	StorageAuto TreeStorage = iota
+	// StorageDense forces NodeID-indexed arrays: O(topology) standing bytes
+	// per session, single-load state access.
+	StorageDense
+	// StorageSparse forces the compact touched-node remap: O(|tree| +
+	// |members|) standing bytes per session, a hash probe per state access.
+	// Behaviour is pinned bit-identical to dense by the equivalence oracles.
+	StorageSparse
+)
+
+// SparseNodeThreshold is the StorageAuto cutover: sessions on topologies
+// with at least this many nodes default to sparse tree storage. The value
+// sits far above every small-scale study topology (so their blessed outputs
+// are untouched) and below the megascale tier, where dense per-session
+// arrays are what capped the session count.
+const SparseNodeThreshold = 32768
+
+// String implements fmt.Stringer.
+func (s TreeStorage) String() string {
+	switch s {
+	case StorageAuto:
+		return "auto"
+	case StorageDense:
+		return "dense"
+	case StorageSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("TreeStorage(%d)", int(s))
+	}
+}
+
 // Config parameterizes an SMRP session.
 type Config struct {
 	// DThresh bounds candidate path length: a candidate is admissible when
@@ -97,6 +138,13 @@ type Config struct {
 
 	// SHRMode selects eager or deferred SHR maintenance.
 	SHRMode SHRMode
+
+	// TreeStorage selects the tree-state backend. The zero value
+	// (StorageAuto) chooses dense arrays below SparseNodeThreshold nodes
+	// and the O(|tree|) sparse remap above it; StorageDense/StorageSparse
+	// force a backend. Both backends are bit-identical in behaviour — the
+	// choice only moves the standing-memory/access-cost tradeoff.
+	TreeStorage TreeStorage
 
 	// Strategy selects the failure-recovery implementation. nil (the
 	// default) is SMRP's local-detour recovery, unchanged from every prior
@@ -136,6 +184,11 @@ func (c Config) Validate() error {
 	case EagerSHR, DeferredSHR:
 	default:
 		return fmt.Errorf("%w: SHRMode must be EagerSHR or DeferredSHR", ErrBadConfig)
+	}
+	switch c.TreeStorage {
+	case StorageAuto, StorageDense, StorageSparse:
+	default:
+		return fmt.Errorf("%w: TreeStorage must be StorageAuto, StorageDense, or StorageSparse", ErrBadConfig)
 	}
 	return nil
 }

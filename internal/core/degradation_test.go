@@ -102,7 +102,7 @@ func TestDegradationPartitionRepair(t *testing.T) {
 					t.Fatalf("Join(%d) = %v", m, err)
 				}
 			}
-			rep, err := s.HealSet(tc.fail)
+			rep, err := s.Recover(tc.fail...)
 			if err != nil {
 				t.Fatalf("HealSet(%v) = %v", tc.fail, err)
 			}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"smrp/internal/failure"
+	"smrp/internal/graph"
+	"smrp/internal/topology"
+)
+
+// healPinSession builds a fresh Fig-1 session with members C and D joined —
+// the shared starting state for the deprecated-wrapper pins below.
+func healPinSession(t *testing.T) *Session {
+	t.Helper()
+	g, err := topology.PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DThresh = 0
+	s, err := NewSession(g, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := s.JoinBatch([]graph.NodeID{3, 4})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestDeprecatedHealWrappers pins the compatibility contract of the
+// pre-strategy names: Heal and HealSet remain callable, and on identical
+// sessions they produce reports and statistics bit-identical to Recover.
+// These are the only remaining in-repo callers of the old names — every
+// other call site has migrated to Recover.
+func TestDeprecatedHealWrappers(t *testing.T) {
+	f := failure.LinkDown(1, 4)
+
+	recoverSess := healPinSession(t)
+	want, err := recoverSess.Recover(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healSess := healPinSession(t)
+	got, err := healSess.Heal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Heal report diverges from Recover:\n heal   %+v\n recover %+v", got, want)
+	}
+
+	setSess := healPinSession(t)
+	gotSet, err := setSess.HealSet([]failure.Failure{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSet, want) {
+		t.Errorf("HealSet report diverges from Recover:\n healset %+v\n recover %+v", gotSet, want)
+	}
+
+	if recoverSess.Stats() != healSess.Stats() || recoverSess.Stats() != setSess.Stats() {
+		t.Errorf("work counters diverge: recover=%+v heal=%+v healset=%+v",
+			recoverSess.Stats(), healSess.Stats(), setSess.Stats())
+	}
+}
+
+// TestDeprecatedHealSetEmptyBatch pins HealSet's historical empty-batch
+// error: it reports ErrBadSchedule just like Recover, from its own guard.
+func TestDeprecatedHealSetEmptyBatch(t *testing.T) {
+	s := healPinSession(t)
+	if _, err := s.HealSet(nil); !errors.Is(err, failure.ErrBadSchedule) {
+		t.Fatalf("HealSet(nil) = %v, want ErrBadSchedule", err)
+	}
+	if _, err := s.Recover(); !errors.Is(err, failure.ErrBadSchedule) {
+		t.Fatalf("Recover() = %v, want ErrBadSchedule", err)
+	}
+}

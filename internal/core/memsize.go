@@ -1,0 +1,34 @@
+package core
+
+// Deterministic memory accounting for session standing state, in the style
+// of graph.MemoryFootprint and Tree.MemoryFootprint: element counts times
+// fixed per-element sizes, never live heap, so the multigroup study's
+// per-group standing-bytes column is CI-stable across runs, machines, and
+// worker counts.
+const (
+	// bytesPerSHRDenseEntry is one slot of a dense SHR table (int32).
+	bytesPerSHRDenseEntry = 4
+	// bytesPerSHRMapEntry is one entry of a sparse SHR table:
+	// NodeID key (8) + int32 value (4) + map bucket overhead.
+	bytesPerSHRMapEntry = 24
+	// bytesPerBaselineEntry is one lastUpSHR entry (NodeID key + int value
+	// + bucket overhead) — the Condition-I baseline kept per member.
+	bytesPerBaselineEntry = 32
+	// bytesPerParkedEntry is one parked-member entry.
+	bytesPerParkedEntry = 16
+)
+
+// MemoryFootprint returns the deterministic byte accounting of the
+// session's standing state: the tree (dense arrays or the sparse
+// touched-node remap), the SHR table and its reshaping scratch twin, the
+// per-member Condition-I baselines, and parked members. With sparse tree
+// storage every term is O(|tree| + |members|); with dense storage the tree
+// and SHR terms are O(topology) — the ratio between the two is what the
+// megascale CI gate pins.
+func (s *Session) MemoryFootprint() int64 {
+	return s.tree.MemoryFootprint() +
+		s.shr.vals.footprint() +
+		s.hypoVals.footprint() +
+		int64(len(s.lastUpSHR))*bytesPerBaselineEntry +
+		int64(len(s.parked))*bytesPerParkedEntry
+}

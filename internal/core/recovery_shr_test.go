@@ -93,7 +93,7 @@ func TestEagerSHRUpdateCountsDirtyNodesOnly(t *testing.T) {
 	//   PruneStale then reclaims the stale relays 1, 2 — pruned relays have
 	//   N_R = 0, so pruning must contribute 0 updates.
 	before = s.Stats().SHRUpdates
-	rep, err := s.Heal(failure.LinkDown(2, 3))
+	rep, err := s.Recover(failure.LinkDown(2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

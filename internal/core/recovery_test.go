@@ -26,7 +26,7 @@ func TestHealSingleMember(t *testing.T) {
 		}
 	}
 	// Fail L_AD: D (4) is cut off; local detour D→C with RD 2.
-	rep, err := s.Heal(failure.LinkDown(1, 4))
+	rep, err := s.Recover(failure.LinkDown(1, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestHealCascadedRecovery(t *testing.T) {
 	// Fail L_SA: both members cut. D reconnects via B (distance 4); then C
 	// reconnects to the now-live D (distance 2) — neighbor-assisted
 	// recovery growing the live tree.
-	rep, err := s.Heal(failure.LinkDown(0, 1))
+	rep, err := s.Recover(failure.LinkDown(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestHealSourceFailure(t *testing.T) {
 	if _, err := s.Join(f4E); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Heal(failure.NodeDown(f4S)); !errors.Is(err, failure.ErrSourceFailed) {
+	if _, err := s.Recover(failure.NodeDown(f4S)); !errors.Is(err, failure.ErrSourceFailed) {
 		t.Errorf("heal source failure err = %v", err)
 	}
 }
@@ -127,7 +127,7 @@ func TestHealSourceFailureLeavesSessionIntact(t *testing.T) {
 	// The whole batch is rejected, including the sibling link failure: the
 	// cut is correlated, so applying half of it would misrepresent it.
 	batch := []failure.Failure{failure.LinkDown(f4S, f4A), failure.NodeDown(f4S)}
-	if _, err := s.HealSet(batch); !errors.Is(err, failure.ErrSourceFailed) {
+	if _, err := s.Recover(batch...); !errors.Is(err, failure.ErrSourceFailed) {
 		t.Fatalf("heal batch with source err = %v, want ErrSourceFailed", err)
 	}
 	if snap := s.Snapshot(); snap.Degraded {
@@ -157,7 +157,7 @@ func TestHealUnrecoverableMember(t *testing.T) {
 	if _, err := s.Join(2); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Heal(failure.LinkDown(1, 2))
+	rep, err := s.Recover(failure.LinkDown(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestHealNodeFailure(t *testing.T) {
 	}
 	// After the Figure-4 sequence the tree is S-A-D-F, S-A-C-E, S-B-G.
 	// Node D fails: F is disconnected (E is on the C branch).
-	rep, err := s.Heal(failure.NodeDown(f4D))
+	rep, err := s.Recover(failure.NodeDown(f4D))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestHealRandomWorstCases(t *testing.T) {
 			t.Fatal(err)
 		}
 		before := s.Tree().NumMembers()
-		rep, err := s.Heal(f)
+		rep, err := s.Recover(f)
 		if err != nil {
 			t.Fatalf("seed %d: heal: %v", seed, err)
 		}

@@ -58,12 +58,12 @@ type Session struct {
 	hypoStack []graph.NodeID
 
 	// failed accumulates every persistent failure applied to the session
-	// (ApplyFailure/Heal); nil while the network is healthy. Path selection,
+	// (ApplyFailure/Recover); nil while the network is healthy. Path selection,
 	// reshaping, and recovery all avoid the accumulated mask.
 	failed *graph.Mask
 	// parked holds members degraded out of the tree because no residual
 	// path to the source existed under the accumulated failures. They are
-	// re-admitted automatically by Repair or by a later Heal whose grafts
+	// re-admitted automatically by Repair or by a later Recover whose grafts
 	// bring an on-tree node back within reach.
 	parked map[graph.NodeID]bool
 
@@ -75,7 +75,12 @@ func NewSession(g *graph.Graph, source graph.NodeID, cfg Config) (*Session, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tree, err := multicast.New(g, source)
+	newTree := multicast.New
+	if cfg.TreeStorage == StorageSparse ||
+		(cfg.TreeStorage == StorageAuto && g.NumNodes() >= SparseNodeThreshold) {
+		newTree = multicast.NewSparse
+	}
+	tree, err := newTree(g, source)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +134,7 @@ func (s *Session) SHR(n graph.NodeID) (int, error) {
 
 // SHRSnapshot returns SHR values for all on-tree nodes.
 func (s *Session) SHRSnapshot() map[graph.NodeID]int {
-	vals := s.shr.dense(s.tree)
+	vals := s.shr.table(s.tree)
 	out := make(map[graph.NodeID]int, s.tree.NumNodes())
 	for _, n := range s.tree.Nodes() {
 		out[n] = vals.at(n)
@@ -259,7 +264,7 @@ func (s *Session) join(nr graph.NodeID, bs *batchState) (*JoinResult, error) {
 // full-topology enumeration through the batch's shared sweep in bounded
 // mode (value-identical; see enumerateFullWith).
 func (s *Session) selectJoinPath(joiner graph.NodeID, spfDelay float64, extraMask *graph.Mask, bs *batchState) (Candidate, bool, error) {
-	shr := s.shr.dense(s.tree)
+	shr := s.shr.table(s.tree)
 	mask := s.opMask(extraMask)
 	var cands []Candidate
 	switch s.cfg.Knowledge {
@@ -337,7 +342,7 @@ func (s *Session) IsParked(m graph.NodeID) bool { return s.parked[m] }
 func (s *Session) FailedMask() *graph.Mask { return s.failed.Clone() }
 
 // ApplyFailure folds persistent failures into the session's accumulated
-// mask without healing. Heal applies its failure itself; use this when the
+// mask without healing. Recover applies its failures itself; use this when the
 // protocol layer detects a failure before recovery begins.
 func (s *Session) ApplyFailure(fs ...failure.Failure) {
 	if len(fs) == 0 {

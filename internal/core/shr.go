@@ -5,14 +5,54 @@ import (
 	"smrp/internal/multicast"
 )
 
-// shrVals is a dense SHR table indexed by NodeID. Entries are meaningful
-// only for on-tree nodes; the source's entry is always 0. The dense layout
-// is what lets the hot path (candidate enumeration, Condition-I checks)
-// read SHR values with a single bounds-checked load instead of a map probe.
-type shrVals []int32
+// shrVals is the session's SHR table. It mirrors the tree's storage backend:
+// over a dense tree the table is a NodeID-indexed []int32 (the hot path —
+// candidate enumeration, Condition-I checks — reads SHR with a single
+// bounds-checked load); over a sparse tree it is a map keyed by NodeID, so a
+// session's standing SHR state is O(nodes ever touched) instead of
+// O(topology). Entries are meaningful only for on-tree nodes; the source's
+// entry is always 0.
+type shrVals struct {
+	dense  []int32
+	sparse map[graph.NodeID]int32
+}
 
 // at returns SHR(S, n). n must be on the tree the table was computed for.
-func (v shrVals) at(n graph.NodeID) int { return int(v[n]) }
+func (v shrVals) at(n graph.NodeID) int {
+	if v.dense != nil {
+		return int(v.dense[n])
+	}
+	return int(v.sparse[n])
+}
+
+// get reads the entry for n; absent sparse entries read as 0 (same as a
+// never-written dense slot).
+func (v shrVals) get(n graph.NodeID) int32 {
+	if v.dense != nil {
+		return v.dense[n]
+	}
+	return v.sparse[n]
+}
+
+// set writes the entry for n. The backend must have been prepared (see
+// computeSHRInto) for the tree the value belongs to.
+func (v shrVals) set(n graph.NodeID, x int32) {
+	if v.dense != nil {
+		v.dense[n] = x
+		return
+	}
+	v.sparse[n] = x
+}
+
+// footprint is the table's deterministic standing-byte accounting: fixed
+// per-entry constants (4 bytes per dense slot; key + value + bucket overhead
+// per sparse entry), never live heap.
+func (v shrVals) footprint() int64 {
+	if v.sparse != nil {
+		return int64(len(v.sparse)) * bytesPerSHRMapEntry
+	}
+	return int64(len(v.dense)) * bytesPerSHRDenseEntry
+}
 
 // ComputeSHR returns SHR(S,R) for every on-tree node R of t, where
 //
@@ -28,7 +68,7 @@ func (v shrVals) at(n graph.NodeID) int { return int(v[n]) }
 // N_R values come from the tree's incrementally maintained cache, so the
 // computation is a single top-down pass with no intermediate MemberCounts
 // map. This is the exported, map-shaped convenience API; the session's hot
-// path uses the dense shrTable below instead.
+// path uses the backend-matched shrTable below instead.
 func ComputeSHR(t *multicast.Tree) map[graph.NodeID]int {
 	shr := make(map[graph.NodeID]int, t.NumNodes())
 	src := t.Source()
@@ -49,24 +89,33 @@ func ComputeSHR(t *multicast.Tree) map[graph.NodeID]int {
 }
 
 // computeSHRInto fills vals with SHR for every on-tree node of t, reusing
-// the provided buffers (grown as needed). It returns the (possibly
-// reallocated) buffers so callers can keep them warm across calls.
+// the provided buffers (grown as needed) and matching the value backend to
+// the tree's storage backend. It returns the (possibly reallocated) buffers
+// so callers can keep them warm across calls.
 func computeSHRInto(t *multicast.Tree, vals shrVals, stack []graph.NodeID) (shrVals, []graph.NodeID) {
-	n := t.Graph().NumNodes()
-	if cap(vals) < n {
-		vals = make(shrVals, n)
+	if t.SparseStorage() {
+		if vals.sparse == nil {
+			vals.sparse = make(map[graph.NodeID]int32, t.NumNodes())
+		}
+		vals.dense = nil
+	} else {
+		n := t.Graph().NumNodes()
+		if cap(vals.dense) < n {
+			vals.dense = make([]int32, n)
+		}
+		vals.dense = vals.dense[:n]
+		vals.sparse = nil
 	}
-	vals = vals[:n]
 	src := t.Source()
-	vals[src] = 0
+	vals.set(src, 0)
 	stack = append(stack[:0], src)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		base := vals[u]
+		base := vals.get(u)
 		for _, k := range t.ChildList(u) {
 			nr, _ := t.MemberCount(k)
-			vals[k] = base + int32(nr)
+			vals.set(k, base+int32(nr))
 			stack = append(stack, k)
 		}
 	}
@@ -122,14 +171,16 @@ func (s *shrTable) refresh(t *multicast.Tree, dirtyRoots ...graph.NodeID) {
 	if s.mode != EagerSHR {
 		return
 	}
-	n := t.Graph().NumNodes()
-	if cap(s.vals) < n {
-		// The graph grew since init: fall back to a full rebuild.
-		s.vals, s.stack = computeSHRInto(t, s.vals, s.stack)
-		return
+	if !t.SparseStorage() {
+		n := t.Graph().NumNodes()
+		if cap(s.vals.dense) < n {
+			// The graph grew since init: fall back to a full rebuild.
+			s.vals, s.stack = computeSHRInto(t, s.vals, s.stack)
+			return
+		}
+		s.vals.dense = s.vals.dense[:n]
 	}
-	s.vals = s.vals[:n]
-	s.vals[t.Source()] = 0
+	s.vals.set(t.Source(), 0)
 	writes := 0
 	for i, root := range dirtyRoots {
 		if root == graph.Invalid || root == t.Source() || !t.OnTree(root) {
@@ -147,9 +198,9 @@ func (s *shrTable) refresh(t *multicast.Tree, dirtyRoots ...graph.NodeID) {
 			s.stack = s.stack[:len(s.stack)-1]
 			p, _ := t.Parent(u)
 			nr, _ := t.MemberCount(u)
-			want := s.vals[p] + int32(nr)
-			if s.vals[u] != want {
-				s.vals[u] = want
+			want := s.vals.get(p) + int32(nr)
+			if s.vals.get(u) != want {
+				s.vals.set(u, want)
 				writes++
 			}
 			s.stack = append(s.stack, t.ChildList(u)...)
@@ -158,9 +209,9 @@ func (s *shrTable) refresh(t *multicast.Tree, dirtyRoots ...graph.NodeID) {
 	s.stats.SHRUpdates += writes
 }
 
-// dense returns the current dense SHR table for t, recomputing it under
-// deferred maintenance when the tree has mutated since the last compute.
-func (s *shrTable) dense(t *multicast.Tree) shrVals {
+// table returns the current SHR table for t, recomputing it under deferred
+// maintenance when the tree has mutated since the last compute.
+func (s *shrTable) table(t *multicast.Tree) shrVals {
 	if s.mode == EagerSHR {
 		return s.vals
 	}
@@ -176,7 +227,7 @@ func (s *shrTable) dense(t *multicast.Tree) shrVals {
 // at returns SHR(S, n) for on-tree node n under the configured maintenance
 // mode.
 func (s *shrTable) at(t *multicast.Tree, n graph.NodeID) int {
-	return s.dense(t).at(n)
+	return s.table(t).at(n)
 }
 
 // contains reports whether roots holds r (tiny linear scan; dirty-root

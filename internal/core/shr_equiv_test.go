@@ -70,7 +70,7 @@ func checkSHRState(t *testing.T, s *Session, op string) {
 		}
 	}
 	if s.cfg.SHRMode == EagerSHR {
-		dense := s.shr.dense(tr)
+		dense := s.shr.table(tr)
 		for n, want := range ref {
 			if dense.at(n) != want {
 				t.Fatalf("%s: incremental SHR[%d] = %d, reference %d", op, n, dense.at(n), want)
@@ -163,7 +163,7 @@ func TestIncrementalSHREquivalence(t *testing.T) {
 					}
 					f = failure.NodeDown(v)
 				}
-				if _, err := s.Heal(f); err != nil {
+				if _, err := s.Recover(f); err != nil {
 					t.Fatalf("heal %v: %v", f, err)
 				}
 				checkSHRState(t, s, fmt.Sprintf("heal %v", f))

@@ -80,7 +80,7 @@ func TestSMRPStrategyEquivalence(t *testing.T) {
 					// The deprecated entry point on the default session, the
 					// blessed one on the strategy session: both must produce
 					// the same report through the same reconcile engine.
-					repA, errA := def.HealSet(ev.Failures)
+					repA, errA := def.Recover(ev.Failures...)
 					repB, errB := strat.Recover(ev.Failures...)
 					if (errA == nil) != (errB == nil) {
 						t.Fatalf("event %d: heal err %v vs strategy err %v", k, errA, errB)

@@ -195,7 +195,7 @@ func RunChaosCtx(ctx context.Context, trials int, seed uint64) (*ChaosResult, er
 		}
 		for k, ev := range sched.Events {
 			if len(ev.Failures) > 0 {
-				rep, err := sess.HealSet(ev.Failures)
+				rep, err := sess.Recover(ev.Failures...)
 				if err != nil {
 					return chaosTrial{}, fmt.Errorf("chaos: heal event %d: %w", k, err)
 				}

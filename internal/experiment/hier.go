@@ -166,7 +166,7 @@ func RunHierarchyCtx(ctx context.Context, runs int, seed uint64) (*HierResult, e
 		if err != nil {
 			return hr, nil // failure may be unrecoverable inside the domain
 		}
-		frep, err := flat.Heal(f)
+		frep, err := flat.Recover(f)
 		if err != nil {
 			return hr, nil
 		}

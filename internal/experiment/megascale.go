@@ -75,13 +75,17 @@ type MegascaleRow struct {
 
 // MegascaleResult is the full sweep.
 type MegascaleResult struct {
-	Groups int // members per arm
-	Events int // recovery events per arm
-	Rows   []MegascaleRow
+	Groups   int  // members per arm
+	Events   int  // recovery events per arm
+	HierOnly bool // the million-node tier: flat arm skipped, Flat rows zero
+	Rows     []MegascaleRow
 }
 
 // Render prints the study. Counters and byte accounting only — no clocks.
 func (r *MegascaleResult) Render() string {
+	if r.HierOnly {
+		return r.renderHierOnly()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Megascale architecture study (flat vs hierarchical, %d members, %d recovery events per arm)\n",
 		r.Groups, r.Events)
@@ -96,6 +100,26 @@ func (r *MegascaleResult) Render() string {
 			row.Flat.Events, row.Hier.Events, row.Flat.Parked, row.Hier.Parked)
 		fmt.Fprintf(&b, "    memory:              flat graph=%s; hier graph=%s + domain subgraphs=%s\n",
 			fmtBytes(row.Flat.GraphBytes), fmtBytes(row.Hier.GraphBytes), fmtBytes(row.Hier.SessionBytes))
+	}
+	return b.String()
+}
+
+// renderHierOnly prints the hierarchical-only tier: the sizes where the flat
+// control arm is no longer worth running (a single flat recovery event at
+// N=10⁶ sweeps more nodes than the whole hierarchical schedule), so only the
+// architecture that scales is reported.
+func (r *MegascaleResult) renderHierOnly() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Megascale architecture study (hierarchical tier, %d members, %d recovery events per arm)\n",
+		r.Groups, r.Events)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  N=%d (%d nodes / %d edges in %d domains)\n",
+			row.Target, row.Hier.Nodes, row.Hier.Edges, row.Hier.Domains)
+		fmt.Fprintf(&b, "    join settled:        %d\n", row.Hier.JoinSettled)
+		fmt.Fprintf(&b, "    settled/event:       %.1f (%d events, parked %d)\n",
+			row.Hier.SettledPerEvent(), row.Hier.Events, row.Hier.Parked)
+		fmt.Fprintf(&b, "    memory:              graph=%s + domain subgraphs=%s\n",
+			fmtBytes(row.Hier.GraphBytes), fmtBytes(row.Hier.SessionBytes))
 	}
 	return b.String()
 }
@@ -175,8 +199,8 @@ func runMegascaleFlat(n int, t runner.Trial, groups int) (MegascaleArm, error) {
 			continue // member currently parked; a later heal re-admits it
 		}
 		f := failure.LinkDown(ta, source)
-		if _, err := sess.Heal(f); err != nil {
-			return arm, fmt.Errorf("megascale flat heal %v: %w", f.Edge, err)
+		if _, err := sess.Recover(f); err != nil {
+			return arm, fmt.Errorf("megascale flat recover %v: %w", f.Edge, err)
 		}
 		arm.Events++
 		if _, err := sess.Repair(f); err != nil {
@@ -284,6 +308,21 @@ func runMegascaleHier(n int, t runner.Trial, groups int) (MegascaleArm, error) {
 // folded in order (byte-identical output for any worker count — each trial's
 // topology and schedule derive from (seed, trial index) alone).
 func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return runMegascale(ctx, sizes, groups, seed, false)
+}
+
+// RunMegascaleHierCtx is the hierarchical-only tier of the study: the same
+// membership and branch-cut schedule with the flat control arm skipped,
+// which is what admits sizes up to N=10⁶ — the hierarchy's work per event
+// stays domain-bounded while a flat arm at that size would sweep the million
+// nodes on every recovery. Trial seeds differ from the two-arm study (one
+// trial per size instead of two), so hier numbers are comparable within a
+// mode, not across modes.
+func RunMegascaleHierCtx(ctx context.Context, sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return runMegascale(ctx, sizes, groups, seed, true)
+}
+
+func runMegascale(ctx context.Context, sizes []int, groups int, seed uint64, hierOnly bool) (*MegascaleResult, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultMegascaleSizes
 	}
@@ -295,9 +334,13 @@ func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) 
 			return nil, fmt.Errorf("experiment: megascale: size %d too small (need >= 1000)", n)
 		}
 	}
-	arms, err := mapTrialsCtx(ctx, seed, 2*len(sizes), func(_ context.Context, t runner.Trial) (MegascaleArm, error) {
-		n := sizes[t.Index/2]
-		if t.Index%2 == 0 {
+	perSize := 2
+	if hierOnly {
+		perSize = 1
+	}
+	arms, err := mapTrialsCtx(ctx, seed, perSize*len(sizes), func(_ context.Context, t runner.Trial) (MegascaleArm, error) {
+		n := sizes[t.Index/perSize]
+		if !hierOnly && t.Index%2 == 0 {
 			return runMegascaleFlat(n, t, groups)
 		}
 		return runMegascaleHier(n, t, groups)
@@ -305,9 +348,15 @@ func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	res := &MegascaleResult{Groups: groups, Events: megascaleEvents}
+	res := &MegascaleResult{Groups: groups, Events: megascaleEvents, HierOnly: hierOnly}
 	for i, n := range sizes {
-		res.Rows = append(res.Rows, MegascaleRow{Target: n, Flat: arms[2*i], Hier: arms[2*i+1]})
+		row := MegascaleRow{Target: n}
+		if hierOnly {
+			row.Hier = arms[i]
+		} else {
+			row.Flat, row.Hier = arms[2*i], arms[2*i+1]
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -315,4 +364,9 @@ func RunMegascaleCtx(ctx context.Context, sizes []int, groups int, seed uint64) 
 // RunMegascale is RunMegascaleCtx without cancellation.
 func RunMegascale(sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
 	return RunMegascaleCtx(context.Background(), sizes, groups, seed)
+}
+
+// RunMegascaleHier is RunMegascaleHierCtx without cancellation.
+func RunMegascaleHier(sizes []int, groups int, seed uint64) (*MegascaleResult, error) {
+	return RunMegascaleHierCtx(context.Background(), sizes, groups, seed)
 }

@@ -131,3 +131,48 @@ func TestMegascaleDeterministicAcrossWorkerCounts(t *testing.T) {
 		t.Fatalf("workers=1 and workers=4 outputs differ in length")
 	}
 }
+
+// TestMegascaleHierOnly pins the hierarchical tier (the mode the N=10⁶ CI
+// trial runs in): events drive domain-bounded settled work, the accounting
+// is present, the render carries no flat columns, and the output is
+// byte-identical across worker counts.
+func TestMegascaleHierOnly(t *testing.T) {
+	defer SetParallelism(0)
+	sizes := []int{2000, 8000}
+
+	SetParallelism(1)
+	r1, err := RunMegascaleHier(sizes, 16, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.HierOnly {
+		t.Fatal("result not marked hier-only")
+	}
+	for _, row := range r1.Rows {
+		if row.Flat != (MegascaleArm{}) {
+			t.Fatalf("N=%d: hier-only run populated the flat arm: %+v", row.Target, row.Flat)
+		}
+		if row.Hier.Events == 0 {
+			t.Fatalf("N=%d: no recovery events driven", row.Target)
+		}
+		if perEvent := row.Hier.SettledPerEvent(); perEvent > 1000 {
+			t.Errorf("N=%d: settled/event = %.1f, not domain-bounded", row.Target, perEvent)
+		}
+		if row.Hier.GraphBytes <= 0 || row.Hier.SessionBytes <= 0 {
+			t.Fatalf("N=%d: memory accounting missing: graph=%d subgraphs=%d",
+				row.Target, row.Hier.GraphBytes, row.Hier.SessionBytes)
+		}
+	}
+	if out := r1.Render(); strings.Contains(out, "flat") {
+		t.Fatalf("hier-only render mentions the flat arm:\n%s", out)
+	}
+
+	SetParallelism(4)
+	r4, err := RunMegascaleHier(sizes, 16, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r4.Render() {
+		t.Fatal("hier-only output differs between workers=1 and workers=4")
+	}
+}

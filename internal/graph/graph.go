@@ -81,6 +81,12 @@ type Graph struct {
 	adj     [][]Arc
 	pos     []Point
 	weights map[EdgeID]float64
+	// frozen marks the graph immutable (see Freeze). Once set, edge lookups
+	// are served from the sorted flat pair below and the weights map is
+	// dropped from steady state entirely.
+	frozen  bool
+	edgeIDs []EdgeID  // canonical (A,B)-sorted edge list; frozen graphs only
+	edgeW   []float64 // weights parallel to edgeIDs
 	// version counts structural mutations (nodes, edges, positions). The
 	// SPF cache uses it to invalidate memoized shortest-path trees when the
 	// topology changes. Mutation is single-threaded by contract (see
@@ -100,6 +106,10 @@ type Graph struct {
 // errors.Is(err, graph.ErrUnknownNode) matches across the whole stack.
 var ErrUnknownNode = errors.New("graph: unknown node")
 
+// ErrFrozen is returned (or carried by the panic message of error-less
+// mutators) when a mutation reaches a graph after Freeze.
+var ErrFrozen = errors.New("graph: graph is frozen")
+
 // New returns a graph with n nodes (IDs 0..n-1) and no edges. Node positions
 // default to the origin.
 func New(n int) *Graph {
@@ -114,10 +124,82 @@ func New(n int) *Graph {
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
 // NumEdges returns the number of undirected edges in the graph.
-func (g *Graph) NumEdges() int { return len(g.weights) }
+func (g *Graph) NumEdges() int {
+	if g.frozen {
+		return len(g.edgeIDs)
+	}
+	return len(g.weights)
+}
 
-// AddNode appends a node at position p and returns its ID.
+// Freeze ends the graph's build phase: the edge set is compacted into a
+// canonically sorted flat []EdgeID/[]float64 pair (binary-searched by
+// HasEdge/EdgeWeight), the per-node adjacency slices are re-packed onto one
+// flat backing array, the CSR sweep view is materialized eagerly, and the
+// weights map is dropped from steady state entirely — on a megascale
+// topology that map is the single largest resident structure, and it buys
+// nothing once construction ends. A frozen graph is immutable: AddEdge
+// returns ErrFrozen, and the error-less mutators (AddNode, SetPos) panic.
+// Freeze is idempotent and returns g for chaining.
+//
+// All read APIs answer bit-identically to the map-backed build phase (see
+// TestFrozenGraphEquivalence); Clone of a frozen graph shares the immutable
+// storage instead of deep-copying it.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	g.edgeIDs = make([]EdgeID, 0, len(g.weights))
+	for id := range g.weights {
+		g.edgeIDs = append(g.edgeIDs, id)
+	}
+	slices.SortFunc(g.edgeIDs, edgeIDCompare)
+	g.edgeW = make([]float64, len(g.edgeIDs))
+	for i, id := range g.edgeIDs {
+		g.edgeW[i] = g.weights[id]
+	}
+	// Re-pack adjacency onto one flat backing (same layout Clone builds), so
+	// the per-node append slack from the build phase is released.
+	total := 0
+	for _, arcs := range g.adj {
+		total += len(arcs)
+	}
+	backing := make([]Arc, 0, total)
+	packed := make([][]Arc, len(g.adj))
+	for i, arcs := range g.adj {
+		start := len(backing)
+		backing = append(backing, arcs...)
+		packed[i] = backing[start:len(backing):len(backing)]
+	}
+	g.adj = packed
+	g.weights = nil
+	g.frozen = true
+	g.csrNow() // materialize the serving view while the build is still warm
+	return g
+}
+
+// Frozen reports whether Freeze has ended the graph's build phase.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// edgeWeightByID returns the weight of the canonical edge id and whether it
+// exists, from whichever representation is live (sorted pair when frozen,
+// map during the build phase).
+func (g *Graph) edgeWeightByID(id EdgeID) (float64, bool) {
+	if g.frozen {
+		if i, ok := slices.BinarySearchFunc(g.edgeIDs, id, edgeIDCompare); ok {
+			return g.edgeW[i], true
+		}
+		return 0, false
+	}
+	w, ok := g.weights[id]
+	return w, ok
+}
+
+// AddNode appends a node at position p and returns its ID. It panics on a
+// frozen graph (construction has ended).
 func (g *Graph) AddNode(p Point) NodeID {
+	if g.frozen {
+		panic(ErrFrozen)
+	}
 	g.adj = append(g.adj, nil)
 	g.pos = append(g.pos, p)
 	if g.weights == nil {
@@ -127,8 +209,11 @@ func (g *Graph) AddNode(p Point) NodeID {
 	return NodeID(len(g.adj) - 1)
 }
 
-// SetPos sets the position of node n.
+// SetPos sets the position of node n. It panics on a frozen graph.
 func (g *Graph) SetPos(n NodeID, p Point) {
+	if g.frozen {
+		panic(ErrFrozen)
+	}
 	g.pos[n] = p
 	g.version++
 }
@@ -148,6 +233,9 @@ func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.adj) }
 // error if either endpoint is unknown, the endpoints coincide, the weight is
 // not a positive finite number, or the edge already exists.
 func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if g.frozen {
+		return fmt.Errorf("add edge %d-%d: %w", u, v, ErrFrozen)
+	}
 	if !g.valid(u) || !g.valid(v) {
 		return fmt.Errorf("add edge %d-%d: %w", u, v, ErrUnknownNode)
 	}
@@ -173,14 +261,13 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 
 // HasEdge reports whether the undirected edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	_, ok := g.weights[MakeEdgeID(u, v)]
+	_, ok := g.edgeWeightByID(MakeEdgeID(u, v))
 	return ok
 }
 
 // EdgeWeight returns the weight of edge (u, v) and whether it exists.
 func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
-	w, ok := g.weights[MakeEdgeID(u, v)]
-	return w, ok
+	return g.edgeWeightByID(MakeEdgeID(u, v))
 }
 
 // Neighbors returns the adjacency list of n. The returned slice is owned by
@@ -196,12 +283,16 @@ func (g *Graph) AvgDegree() float64 {
 	if len(g.adj) == 0 {
 		return 0
 	}
-	return 2 * float64(len(g.weights)) / float64(len(g.adj))
+	return 2 * float64(g.NumEdges()) / float64(len(g.adj))
 }
 
 // Edges returns all undirected edges sorted canonically (deterministic order
-// regardless of insertion sequence).
+// regardless of insertion sequence). On a frozen graph this is a copy of the
+// resident sorted edge list.
 func (g *Graph) Edges() []EdgeID {
+	if g.frozen {
+		return slices.Clone(g.edgeIDs)
+	}
 	out := make([]EdgeID, 0, len(g.weights))
 	for id := range g.weights {
 		out = append(out, id)
@@ -224,7 +315,25 @@ func edgeIDCompare(a, b EdgeID) int {
 // 10⁵-node graph costs three allocations plus the weight map — not one make
 // per node. The clone's slices are full (len == cap per node), so appends on
 // the clone reallocate instead of clobbering a neighbor's arcs.
+//
+// Cloning a frozen graph is O(1): the clone is frozen too and shares the
+// immutable CSR adjacency, positions, and sorted edge arrays — no per-clone
+// copy of megascale state. (The SPF cache, as always, is not cloned.)
 func (g *Graph) Clone() *Graph {
+	if g.frozen {
+		c := &Graph{
+			adj:     g.adj,
+			pos:     g.pos,
+			frozen:  true,
+			edgeIDs: g.edgeIDs,
+			edgeW:   g.edgeW,
+			version: g.version,
+		}
+		if v := g.csr.Load(); v != nil {
+			c.csr.Store(v)
+		}
+		return c
+	}
 	c := &Graph{
 		adj:     make([][]Arc, len(g.adj)),
 		pos:     make([]Point, len(g.pos)),

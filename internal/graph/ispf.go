@@ -370,7 +370,7 @@ func ispfRepair(g *Graph, t *SPTree, added, removed []MaskElem, mask *Mask, sc *
 		for _, e := range removed {
 			if e.IsEdge {
 				u, v := e.Edge.A, e.Edge.B
-				w, exists := g.weights[e.Edge]
+				w, exists := g.edgeWeightByID(e.Edge)
 				if !exists || mask.NodeBlocked(u) || mask.NodeBlocked(v) ||
 					(checkEdges && mask.edges[e.Edge]) {
 					continue

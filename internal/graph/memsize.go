@@ -16,11 +16,16 @@ const (
 	bytesPerPoint    = 16 // Point{X, Y float64}
 	bytesSliceHeader = 24 // ptr + len + cap
 	bytesPerMapEntry = 48 // EdgeID(16) + float64(8) + bucket overhead
+	// bytesPerSortedEdge is one entry of a frozen graph's flat edge pair:
+	// EdgeID(16) in edgeIDs plus float64(8) in edgeW — no bucket overhead,
+	// which is exactly the saving Freeze banks over the build-phase map.
+	bytesPerSortedEdge = 24
 )
 
 // MemoryFootprint returns the deterministic byte accounting of the graph's
 // core structures: adjacency lists (headers plus arcs), node positions, and
-// the edge-weight map. Lazily materialized caches (the CSR sweep view, the
+// the edge store — the weight map during the build phase, or the sorted flat
+// edge pair once frozen. Lazily materialized caches (the CSR sweep view, the
 // SPF cache) are deliberately excluded — they are rebuildable derivatives
 // whose presence depends on query history, not on the topology itself.
 func (g *Graph) MemoryFootprint() int64 {
@@ -28,8 +33,12 @@ func (g *Graph) MemoryFootprint() int64 {
 	for _, a := range g.adj {
 		arcs += len(a)
 	}
+	edgeBytes := int64(len(g.weights)) * bytesPerMapEntry
+	if g.frozen {
+		edgeBytes = int64(len(g.edgeIDs)) * bytesPerSortedEdge
+	}
 	return int64(len(g.adj))*bytesSliceHeader +
 		int64(arcs)*bytesPerArc +
 		int64(len(g.pos))*bytesPerPoint +
-		int64(len(g.weights))*bytesPerMapEntry
+		edgeBytes
 }

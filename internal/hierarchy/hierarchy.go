@@ -126,6 +126,11 @@ func newDomainSession(g *graph.Graph, id int, nodes []graph.NodeID, root, agent 
 	if err != nil {
 		return nil, err
 	}
+	// Sub-sessions route over the induced subgraph but never mutate it
+	// (failures are mask-based), so freeze it into the CSR representation:
+	// at megascale the per-domain copies are the hierarchy's dominant memory
+	// term, and the sorted-pair form halves their edge storage.
+	sub.Freeze()
 	subRoot, ok := nm.ToSub(root)
 	if !ok {
 		return nil, fmt.Errorf("root %d not in domain", root)

@@ -281,7 +281,7 @@ func (s *NLevelSession) Recover(f failure.Failure) (*RecoveryReport, error) {
 	if !okA || !okB {
 		return nil, fmt.Errorf("hierarchy: failure %v not inside domain %d's session", f, target)
 	}
-	rep, err := ds.session.Heal(failure.LinkDown(a, b))
+	rep, err := ds.session.Recover(failure.LinkDown(a, b))
 	if err != nil {
 		return nil, err
 	}

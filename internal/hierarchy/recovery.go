@@ -178,10 +178,10 @@ func (s *Session) RecoverSet(fs []failure.Failure) ([]*RecoveryReport, error) {
 			reports = append(reports, rep)
 			continue
 		}
-		heal, err := ds.session.HealSet(per[id])
+		heal, err := ds.session.Recover(per[id]...)
 		if err != nil {
 			if errors.Is(err, failure.ErrSourceFailed) {
-				// The domain's own agent just failed. HealSet rejects the
+				// The domain's own agent just failed. Recover rejects the
 				// batch without touching the mask (so servers can't be
 				// corrupted by a rejected request), so fold it in
 				// explicitly here: the domain degrades as a group (see

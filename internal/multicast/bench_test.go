@@ -12,7 +12,7 @@ import (
 // tree with k members on it, and returns a leaf member plus the path that
 // regrafts it after a Leave — the steady-state churn cycle the benchmarks
 // and the allocation guard below all share.
-func benchChurnFixture(tb testing.TB, n, extraEdges, k int) (*Tree, graph.NodeID, graph.Path) {
+func benchChurnFixture(tb testing.TB, n, extraEdges, k int, sparse bool) (*Tree, graph.NodeID, graph.Path) {
 	tb.Helper()
 	rng := rand.New(rand.NewSource(2005))
 	g := graph.New(n)
@@ -30,7 +30,11 @@ func benchChurnFixture(tb testing.TB, n, extraEdges, k int) (*Tree, graph.NodeID
 			}
 		}
 	}
-	tr, err := New(g, 0)
+	newFn := New
+	if sparse {
+		newFn = NewSparse
+	}
+	tr, err := newFn(g, 0)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -84,7 +88,7 @@ func benchChurnFixture(tb testing.TB, n, extraEdges, k int) (*Tree, graph.NodeID
 // member leaves (pruning its relay chain) and regrafts along the same path —
 // the tree-state half of the per-event join/leave hot path.
 func BenchmarkTreeGraftLeave(b *testing.B) {
-	tr, leaf, regraft := benchChurnFixture(b, 200, 200, 40)
+	tr, leaf, regraft := benchChurnFixture(b, 200, 200, 40, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,6 +101,34 @@ func BenchmarkTreeGraftLeave(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeChurnBackends is the sparse-vs-dense churn comparison at
+// megascale (N = 10⁵): the same warm leave/regraft cycle on both storage
+// backends over an identical topology. The sparse backend pays hash probes
+// along the O(depth) walks; the payoff is the standing-bytes column reported
+// by each sub-benchmark (dense O(N) arrays vs O(|tree|) slots).
+func BenchmarkTreeChurnBackends(b *testing.B) {
+	const n, extra, k = 100_000, 100_000, 64
+	for _, mode := range []struct {
+		name   string
+		sparse bool
+	}{{"dense", false}, {"sparse", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr, leaf, regraft := benchChurnFixture(b, n, extra, k, mode.sparse)
+			b.ReportAllocs()
+			b.ReportMetric(float64(tr.MemoryFootprint()), "standing-B")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tr.Leave(leaf); err != nil {
+					b.Fatal(err)
+				}
+				if err := tr.Graft(regraft, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestTreeSteadyStateAllocs pins the warm join/leave cycle at zero heap
 // allocations, mirroring TestSweepSteadyStateAllocs: once the tree's backing
 // arrays have grown to steady state, membership churn must not allocate. GC
@@ -104,23 +136,30 @@ func BenchmarkTreeGraftLeave(b *testing.B) {
 func TestTreeSteadyStateAllocs(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	tr, leaf, regraft := benchChurnFixture(t, 200, 200, 40)
-	// Warm: one full cycle outside the measurement.
-	if err := tr.Leave(leaf); err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Graft(regraft, true); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(50, func() {
-		if err := tr.Leave(leaf); err != nil {
-			t.Fatal(err)
-		}
-		if err := tr.Graft(regraft, true); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state graft/leave allocated %.1f times per cycle, want 0", allocs)
+	for _, mode := range []struct {
+		name   string
+		sparse bool
+	}{{"dense", false}, {"sparse", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			tr, leaf, regraft := benchChurnFixture(t, 200, 200, 40, mode.sparse)
+			// Warm: one full cycle outside the measurement.
+			if err := tr.Leave(leaf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Graft(regraft, true); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := tr.Leave(leaf); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Graft(regraft, true); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state graft/leave allocated %.1f times per cycle, want 0", allocs)
+			}
+		})
 	}
 }

@@ -28,6 +28,29 @@ func (b bitset) grown(n int) bitset {
 	return nb
 }
 
+// grownCap returns b extended to hold IDs 0..n-1 with amortized-doubling
+// capacity, for callers that grow one ID at a time (the sparse tree backend
+// appends slots individually; plain grown would copy the whole set every 64
+// appends).
+func (b bitset) grownCap(n int) bitset {
+	want := (n + 63) >> 6
+	if want <= len(b) {
+		return b
+	}
+	if want <= cap(b) {
+		// The backing array was zeroed at make time and words beyond len are
+		// never written, so reslicing exposes cleared bits.
+		return b[:want]
+	}
+	newCap := 2 * cap(b)
+	if newCap < want {
+		newCap = want
+	}
+	nb := make(bitset, want, newCap)
+	copy(nb, b)
+	return nb
+}
+
 // has reports whether id is in the set. IDs outside the allocated range are
 // absent, so callers may probe arbitrary (even negative) NodeIDs safely.
 func (b bitset) has(id graph.NodeID) bool {

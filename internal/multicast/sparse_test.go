@@ -1,0 +1,172 @@
+package multicast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"smrp/internal/graph"
+)
+
+// twinTrees drives an identical random mutation sequence — grafts, leaves,
+// reroutes, subtree removals/detachments, stale pruning, clone swaps —
+// through a dense and a sparse tree on the same graph, checking after every
+// operation that all observable state is bit-identical. This is the
+// equivalence oracle that lets the sparse backend stand in for the dense one
+// anywhere without perturbing a single study output.
+func TestSparseDenseEquivalence(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(5100 + trial)))
+		n := 40 + rng.Intn(40)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			_ = g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), 1+rng.Float64())
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		dense, err := New(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := NewSparse(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.SparseStorage() || dense.SparseStorage() {
+			t.Fatal("backend selection broken")
+		}
+
+		for op := 0; op < 300; op++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.5 || dense.NumMembers() == 0:
+				cand := graph.NodeID(rng.Intn(n))
+				if dense.IsMember(cand) {
+					continue
+				}
+				if dense.OnTree(cand) {
+					mustBoth(t, trial, op, "graft-in-place",
+						dense.Graft(graph.Path{cand}, true), sparse.Graft(graph.Path{cand}, true))
+				} else {
+					_, p, _ := g.NearestOf(cand, nil, dense.OnTree)
+					if p == nil {
+						continue
+					}
+					gp := p.Reverse()
+					mustBoth(t, trial, op, "graft",
+						dense.Graft(gp, true), sparse.Graft(slices.Clone(gp), true))
+				}
+			case r < 0.75:
+				ms := dense.Members()
+				m := ms[rng.Intn(len(ms))]
+				mustBoth(t, trial, op, "leave", dense.Leave(m), sparse.Leave(m))
+			case r < 0.85:
+				nodes := dense.Nodes()
+				v := nodes[rng.Intn(len(nodes))]
+				if v == dense.Source() {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					mustBoth(t, trial, op, "remove-subtree",
+						dense.RemoveSubtree(v), sparse.RemoveSubtree(v))
+				} else {
+					mustBoth(t, trial, op, "detach-subtree",
+						dense.DetachSubtree(v), sparse.DetachSubtree(v))
+				}
+			case r < 0.92:
+				dr := dense.PruneStale()
+				sr := sparse.PruneStale()
+				if !slices.Equal(dr, sr) {
+					t.Fatalf("trial %d op %d: PruneStale %v != %v", trial, op, dr, sr)
+				}
+			default:
+				// Clone both and continue the run on the clones: clone
+				// lineage must preserve equivalence (reshaping works on
+				// clones of live session trees).
+				dense, sparse = dense.Clone(), sparse.Clone()
+			}
+			compareTrees(t, trial, op, dense, sparse)
+		}
+	}
+}
+
+func mustBoth(t *testing.T, trial, op int, what string, errDense, errSparse error) {
+	t.Helper()
+	if (errDense == nil) != (errSparse == nil) {
+		t.Fatalf("trial %d op %d: %s diverges: dense=%v sparse=%v", trial, op, what, errDense, errSparse)
+	}
+}
+
+// compareTrees asserts every observable of the two trees is bit-identical.
+func compareTrees(t *testing.T, trial, op int, a, b *Tree) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("trial %d op %d: %s", trial, op, fmt.Sprintf(format, args...))
+	}
+	if a.Epoch() != b.Epoch() {
+		fail("epoch %d != %d", a.Epoch(), b.Epoch())
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumMembers() != b.NumMembers() {
+		fail("counts (%d,%d) != (%d,%d)", a.NumNodes(), a.NumMembers(), b.NumNodes(), b.NumMembers())
+	}
+	an, bn := a.Nodes(), b.Nodes()
+	if !slices.Equal(an, bn) {
+		fail("nodes %v != %v", an, bn)
+	}
+	if !slices.Equal(a.Members(), b.Members()) {
+		fail("members %v != %v", a.Members(), b.Members())
+	}
+	if !slices.Equal(a.Edges(), b.Edges()) {
+		fail("edges diverge")
+	}
+	ac, aerr := a.Cost()
+	bc, berr := b.Cost()
+	if (aerr == nil) != (berr == nil) || math.Float64bits(ac) != math.Float64bits(bc) {
+		fail("cost %v (%v) != %v (%v)", ac, aerr, bc, berr)
+	}
+	for _, node := range an {
+		ap, aok := a.Parent(node)
+		bp, bok := b.Parent(node)
+		if ap != bp || aok != bok {
+			fail("parent(%d) (%d,%v) != (%d,%v)", node, ap, aok, bp, bok)
+		}
+		if !slices.Equal(a.ChildList(node), b.ChildList(node)) {
+			fail("children(%d) diverge", node)
+		}
+		anr, _ := a.MemberCount(node)
+		bnr, _ := b.MemberCount(node)
+		if anr != bnr {
+			fail("N_%d %d != %d", node, anr, bnr)
+		}
+		if a.TopAncestor(node) != b.TopAncestor(node) {
+			fail("top ancestor(%d) diverges", node)
+		}
+		ad, _ := a.DelayTo(node)
+		bd, _ := b.DelayTo(node)
+		if math.Float64bits(ad) != math.Float64bits(bd) {
+			fail("delay(%d) %v != %v", node, ad, bd)
+		}
+		as, _ := a.SubtreeNodes(node)
+		bs, _ := b.SubtreeNodes(node)
+		if !slices.Equal(as, bs) {
+			fail("subtree(%d) diverges", node)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		fail("dense invariant: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		fail("sparse invariant: %v", err)
+	}
+	if a.MemoryFootprint() <= 0 || b.MemoryFootprint() <= 0 {
+		fail("non-positive footprint")
+	}
+}

@@ -8,18 +8,26 @@
 // S; "members" are receivers (which may be interior nodes); N_R is the
 // number of members in the subtree rooted at R.
 //
-// Storage is dense: graph.NodeID is already a compact integer in
-// 0..NumNodes()-1, so tree state lives in slice-indexed arrays (parent
-// vector, per-node children lists kept in ascending order, member and
-// on-tree bitsets, and a cached N_R column maintained incrementally along
-// the O(depth) root path of every mutation). This removes the map hashing,
-// per-accessor sorting, and per-mutation O(|tree|) recounting the original
-// map-backed representation paid on the join/leave/heal hot path.
+// Storage comes in two backends behind one Tree type. The dense backend
+// (New) exploits that graph.NodeID is a compact integer in 0..NumNodes()-1:
+// tree state lives in NodeID-indexed arrays (parent vector, per-node
+// children lists kept in ascending order, member and on-tree bitsets, and a
+// cached N_R column maintained incrementally along the O(depth) root path of
+// every mutation). The sparse backend (NewSparse) stores the same arrays
+// indexed by a compact touched-node remap instead, so a tree's standing
+// bytes are O(nodes ever touched) rather than O(topology) — the
+// megascale/multigroup regime where thousands of trees each cover a tiny
+// fraction of a million-node graph. Slots are never freed (a node that
+// leaves keeps its slot as a tombstone), which is what preserves the
+// zero-steady-state-allocation guarantee under membership churn in both
+// backends. Every observable output — node/member/edge enumeration order,
+// Cost's float summation order, epochs — is bit-identical between the two.
 package multicast
 
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"slices"
 
 	"smrp/internal/graph"
@@ -37,18 +45,20 @@ var (
 )
 
 // Tree is a source-rooted multicast tree overlaid on a Graph. The zero value
-// is not usable; construct with New.
+// is not usable; construct with New (dense storage) or NewSparse (compact
+// touched-node storage).
 //
 // Tree is not safe for concurrent mutation.
 type Tree struct {
 	g      *graph.Graph
 	source graph.NodeID
 
-	// Dense slice-indexed state. parent and nr are meaningful only for
-	// nodes whose onTree bit is set; children lists are kept in ascending
-	// order (insertion-ordered sort) so accessors never re-sort, and keep
-	// their backing capacity when a node leaves so warm churn does not
-	// allocate.
+	// Slot-indexed state. Under dense storage the slot of node n is n
+	// itself; under sparse storage slots are assigned in touch order and
+	// translated through slotOf/nodeOf. parent and nr are meaningful only
+	// for slots whose onTree bit is set; children lists hold NodeIDs (not
+	// slots) in ascending order so accessors never re-sort, and keep their
+	// backing capacity when a node leaves so warm churn does not allocate.
 	parent   []graph.NodeID
 	children [][]graph.NodeID
 	onTree   bitset
@@ -59,6 +69,14 @@ type Tree struct {
 	// of recounting the tree.
 	nr []int32
 
+	// Sparse backend: slotOf maps a touched node to its slot, nodeOf is the
+	// inverse. nil slotOf selects dense storage. scratch is a reusable
+	// buffer for ascending-NodeID iteration (slot order is touch order, so
+	// ordered walks collect and sort into it).
+	slotOf  map[graph.NodeID]int32
+	nodeOf  []graph.NodeID
+	scratch []graph.NodeID
+
 	nNodes   int
 	nMembers int
 	// epoch counts successful mutations; readers (e.g. the SHR table in
@@ -66,45 +84,134 @@ type Tree struct {
 	epoch uint64
 }
 
-// New returns an empty tree on g rooted at source. The source is on the
-// tree from the start (as in PIM, the root's state always exists).
+// New returns an empty dense-storage tree on g rooted at source. The source
+// is on the tree from the start (as in PIM, the root's state always exists).
+// Dense storage costs O(NumNodes) standing bytes per tree and is the right
+// default below megascale.
 func New(g *graph.Graph, source graph.NodeID) (*Tree, error) {
+	return newTree(g, source, false)
+}
+
+// NewSparse returns an empty sparse-storage tree on g rooted at source:
+// standing bytes are O(nodes ever touched) instead of O(NumNodes), at the
+// price of a hash probe per state access. Behaviour is bit-identical to the
+// dense backend. Use it when many trees share a very large topology.
+func NewSparse(g *graph.Graph, source graph.NodeID) (*Tree, error) {
+	return newTree(g, source, true)
+}
+
+func newTree(g *graph.Graph, source graph.NodeID, sparse bool) (*Tree, error) {
 	if source < 0 || int(source) >= g.NumNodes() {
 		return nil, fmt.Errorf("multicast: source %d not in graph", source)
 	}
-	n := g.NumNodes()
-	t := &Tree{
-		g:        g,
-		source:   source,
-		parent:   make([]graph.NodeID, n),
-		children: make([][]graph.NodeID, n),
-		onTree:   newBitset(n),
-		members:  newBitset(n),
-		nr:       make([]int32, n),
+	t := &Tree{g: g, source: source}
+	if sparse {
+		t.slotOf = make(map[graph.NodeID]int32)
+		i := t.ensureSlot(source)
+		t.parent[i] = graph.Invalid
+		t.onTree.set(graph.NodeID(i))
+	} else {
+		n := g.NumNodes()
+		t.parent = make([]graph.NodeID, n)
+		t.children = make([][]graph.NodeID, n)
+		t.onTree = newBitset(n)
+		t.members = newBitset(n)
+		t.nr = make([]int32, n)
+		t.parent[source] = graph.Invalid
+		t.onTree.set(source)
 	}
-	t.parent[source] = graph.Invalid
-	t.onTree.set(source)
 	t.nNodes = 1
 	return t, nil
 }
 
-// ensure grows the dense arrays to cover node id n (the graph may have
-// gained nodes after the tree was created).
-func (t *Tree) ensure(n graph.NodeID) {
-	if int(n) < len(t.parent) {
-		return
+// SparseStorage reports whether the tree uses the sparse (touched-node)
+// backend.
+func (t *Tree) SparseStorage() bool { return t.slotOf != nil }
+
+// idx returns the storage slot of n, or -1 when n has no slot yet. Under
+// dense storage the slot is n itself (which may lie beyond the allocated
+// arrays if the graph grew — callers guard with the bitsets, whose has()
+// treats out-of-range slots as absent).
+func (t *Tree) idx(n graph.NodeID) int32 {
+	if t.slotOf == nil {
+		return int32(n)
 	}
-	want := int(n) + 1
-	if g := t.g.NumNodes(); g > want {
-		want = g
+	if i, ok := t.slotOf[n]; ok {
+		return i
 	}
-	for len(t.parent) < want {
-		t.parent = append(t.parent, graph.Invalid)
-		t.children = append(t.children, nil)
-		t.nr = append(t.nr, 0)
+	return -1
+}
+
+// nodeAt translates a slot back to its NodeID.
+func (t *Tree) nodeAt(i int32) graph.NodeID {
+	if t.slotOf == nil {
+		return graph.NodeID(i)
 	}
-	t.onTree = t.onTree.grown(want)
-	t.members = t.members.grown(want)
+	return t.nodeOf[i]
+}
+
+// ensureSlot returns n's slot, creating storage for it as needed: dense
+// storage grows the arrays to cover node id n (the graph may have gained
+// nodes after the tree was created); sparse storage appends a fresh slot.
+func (t *Tree) ensureSlot(n graph.NodeID) int32 {
+	if t.slotOf == nil {
+		if int(n) < len(t.parent) {
+			return int32(n)
+		}
+		want := int(n) + 1
+		if g := t.g.NumNodes(); g > want {
+			want = g
+		}
+		for len(t.parent) < want {
+			t.parent = append(t.parent, graph.Invalid)
+			t.children = append(t.children, nil)
+			t.nr = append(t.nr, 0)
+		}
+		t.onTree = t.onTree.grown(want)
+		t.members = t.members.grown(want)
+		return int32(n)
+	}
+	if i, ok := t.slotOf[n]; ok {
+		return i
+	}
+	i := int32(len(t.nodeOf))
+	t.slotOf[n] = i
+	t.nodeOf = append(t.nodeOf, n)
+	t.parent = append(t.parent, graph.Invalid)
+	t.children = append(t.children, nil)
+	t.nr = append(t.nr, 0)
+	t.onTree = t.onTree.grownCap(int(i) + 1)
+	t.members = t.members.grownCap(int(i) + 1)
+	return i
+}
+
+// parentOf returns n's recorded parent, Invalid when n has no storage.
+// Meaningful only for on-tree nodes (as with the raw parent vector).
+func (t *Tree) parentOf(n graph.NodeID) graph.NodeID {
+	i := t.idx(n)
+	if i < 0 || int(i) >= len(t.parent) {
+		return graph.Invalid
+	}
+	return t.parent[i]
+}
+
+// appendNodeIDs converts the slot-bitset b to NodeIDs appended to dst in
+// ascending NodeID order. Dense slots are NodeIDs already in ascending bit
+// order; sparse slots are in touch order and get sorted.
+func (t *Tree) appendNodeIDs(b bitset, dst []graph.NodeID) []graph.NodeID {
+	if t.slotOf == nil {
+		return b.appendIDs(dst)
+	}
+	start := len(dst)
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, t.nodeOf[base+trailingZeros(w)])
+			w &= w - 1
+		}
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Graph returns the underlying network graph.
@@ -119,26 +226,23 @@ func (t *Tree) Source() graph.NodeID { return t.source }
 func (t *Tree) Epoch() uint64 { return t.epoch }
 
 // OnTree reports whether n currently has tree state.
-func (t *Tree) OnTree(n graph.NodeID) bool { return t.onTree.has(n) }
+func (t *Tree) OnTree(n graph.NodeID) bool { return t.onTree.has(graph.NodeID(t.idx(n))) }
 
 // IsMember reports whether n is a receiver of the session.
-func (t *Tree) IsMember(n graph.NodeID) bool { return t.members.has(n) }
+func (t *Tree) IsMember(n graph.NodeID) bool { return t.members.has(graph.NodeID(t.idx(n))) }
 
 // Parent returns the upstream node of n (Invalid for the source) and whether
 // n is on the tree.
 func (t *Tree) Parent(n graph.NodeID) (graph.NodeID, bool) {
-	if !t.onTree.has(n) {
+	if !t.OnTree(n) {
 		return graph.Invalid, false
 	}
-	return t.parent[n], true
+	return t.parent[t.idx(n)], true
 }
 
 // Children returns a copy of n's downstream neighbors, in ascending order.
 func (t *Tree) Children(n graph.NodeID) []graph.NodeID {
-	var kids []graph.NodeID
-	if n >= 0 && int(n) < len(t.children) {
-		kids = t.children[n]
-	}
+	kids := t.ChildList(n)
 	out := make([]graph.NodeID, len(kids))
 	copy(out, kids)
 	return out
@@ -150,15 +254,16 @@ func (t *Tree) Children(n graph.NodeID) []graph.NodeID {
 // propagation, surviving-node walks, delivery simulation) use this to
 // iterate allocation-free; everything else should prefer Children.
 func (t *Tree) ChildList(n graph.NodeID) []graph.NodeID {
-	if n < 0 || int(n) >= len(t.children) {
+	i := t.idx(n)
+	if i < 0 || int(i) >= len(t.children) {
 		return nil
 	}
-	return t.children[n]
+	return t.children[i]
 }
 
 // Members returns the current receivers in ascending order.
 func (t *Tree) Members() []graph.NodeID {
-	return t.members.appendIDs(make([]graph.NodeID, 0, t.nMembers))
+	return t.appendNodeIDs(t.members, make([]graph.NodeID, 0, t.nMembers))
 }
 
 // NumMembers returns the number of receivers.
@@ -167,7 +272,7 @@ func (t *Tree) NumMembers() int { return t.nMembers }
 // Nodes returns all on-tree nodes in ascending order (the source is always
 // included).
 func (t *Tree) Nodes() []graph.NodeID {
-	return t.onTree.appendIDs(make([]graph.NodeID, 0, t.nNodes))
+	return t.appendNodeIDs(t.onTree, make([]graph.NodeID, 0, t.nNodes))
 }
 
 // NumNodes returns the number of on-tree nodes.
@@ -178,12 +283,12 @@ func (t *Tree) NumNodes() int { return t.nNodes }
 func (t *Tree) Edges() []graph.EdgeID {
 	out := make([]graph.EdgeID, 0, t.nNodes-1)
 	for wi, w := range t.onTree {
-		base := graph.NodeID(wi << 6)
+		base := wi << 6
 		for w != 0 {
-			n := base + graph.NodeID(trailingZeros(w))
+			i := int32(base + trailingZeros(w))
 			w &= w - 1
-			if p := t.parent[n]; p != graph.Invalid {
-				out = append(out, graph.MakeEdgeID(n, p))
+			if p := t.parent[i]; p != graph.Invalid {
+				out = append(out, graph.MakeEdgeID(t.nodeAt(i), p))
 			}
 		}
 	}
@@ -198,10 +303,10 @@ func (t *Tree) Edges() []graph.EdgeID {
 
 // UsesEdge reports whether the tree traverses the undirected edge e.
 func (t *Tree) UsesEdge(e graph.EdgeID) bool {
-	if t.onTree.has(e.A) && t.parent[e.A] == e.B {
+	if t.OnTree(e.A) && t.parent[t.idx(e.A)] == e.B {
 		return true
 	}
-	if t.onTree.has(e.B) && t.parent[e.B] == e.A {
+	if t.OnTree(e.B) && t.parent[t.idx(e.B)] == e.A {
 		return true
 	}
 	return false
@@ -222,7 +327,7 @@ func (t *Tree) AppendPathToSource(buf graph.Path, n graph.NodeID) (graph.Path, e
 		return buf, fmt.Errorf("path to source from %d: %w", n, ErrNotOnTree)
 	}
 	start := len(buf)
-	for cur := n; cur != graph.Invalid; cur = t.parent[cur] {
+	for cur := n; cur != graph.Invalid; cur = t.parent[t.idx(cur)] {
 		buf = append(buf, cur)
 		if len(buf)-start > t.g.NumNodes() {
 			return buf[:start], fmt.Errorf("path to source from %d: cycle in tree", n)
@@ -240,10 +345,13 @@ func (t *Tree) TopAncestor(n graph.NodeID) graph.NodeID {
 	if !t.OnTree(n) || n == t.source {
 		return graph.Invalid
 	}
-	for t.parent[n] != t.source {
-		n = t.parent[n]
+	for {
+		p := t.parent[t.idx(n)]
+		if p == t.source {
+			return n
+		}
+		n = p
 	}
-	return n
 }
 
 // DelayTo returns the total weight of the on-tree path from the source to n
@@ -257,7 +365,25 @@ func (t *Tree) DelayTo(n graph.NodeID) (float64, error) {
 }
 
 // Cost returns the sum of all tree-edge weights (the paper's Cost_T).
+// Summation runs in ascending NodeID order in both storage backends, so the
+// float result is bit-identical regardless of backend.
 func (t *Tree) Cost() (float64, error) {
+	if t.slotOf != nil {
+		t.scratch = t.appendNodeIDs(t.onTree, t.scratch[:0])
+		var total float64
+		for _, n := range t.scratch {
+			p := t.parent[t.slotOf[n]]
+			if p == graph.Invalid {
+				continue
+			}
+			ew, ok := t.g.EdgeWeight(n, p)
+			if !ok {
+				return 0, fmt.Errorf("tree cost: %d-%d is not a graph edge", n, p)
+			}
+			total += ew
+		}
+		return total, nil
+	}
 	var total float64
 	for wi, w := range t.onTree {
 		base := graph.NodeID(wi << 6)
@@ -305,8 +431,8 @@ func (t *Tree) Graft(p graph.Path, markMember bool) error {
 	for i := 1; i < len(p); i++ {
 		t.attach(p[i], p[i-1])
 	}
-	if markMember && !t.members.has(p.Last()) {
-		t.members.set(p.Last())
+	if last := t.idx(p.Last()); !t.members.has(graph.NodeID(last)) && markMember {
+		t.members.set(graph.NodeID(last))
 		t.nMembers++
 		t.bumpNR(p.Last(), 1)
 		changed = true
@@ -321,33 +447,36 @@ func (t *Tree) Graft(p graph.Path, markMember bool) error {
 // starting at from (inclusive) — the O(depth) incremental maintenance of
 // Eq. 2's N_R terms.
 func (t *Tree) bumpNR(from graph.NodeID, delta int32) {
-	for cur := from; cur != graph.Invalid; cur = t.parent[cur] {
-		t.nr[cur] += delta
+	for cur := from; cur != graph.Invalid; {
+		i := t.idx(cur)
+		t.nr[i] += delta
+		cur = t.parent[i]
 	}
 }
 
 // attach links the off-tree node child under on-tree node par, inserting it
 // into par's ascending children list.
 func (t *Tree) attach(child, par graph.NodeID) {
-	t.ensure(child)
-	t.parent[child] = par
+	i := t.ensureSlot(child)
+	t.parent[i] = par
 	t.insertChild(par, child)
-	t.onTree.set(child)
-	t.nr[child] = 0
+	t.onTree.set(graph.NodeID(i))
+	t.nr[i] = 0
 	t.nNodes++
 }
 
 // link re-parents the already-on-tree node child under par (Reroute's move
 // of an existing subtree root) without touching node counts.
 func (t *Tree) link(child, par graph.NodeID) {
-	t.parent[child] = par
+	t.parent[t.idx(child)] = par
 	t.insertChild(par, child)
 }
 
 // insertChild inserts child into par's children list keeping ascending
 // order; amortized O(len) with no allocation once capacity is warm.
 func (t *Tree) insertChild(par, child graph.NodeID) {
-	kids := t.children[par]
+	pi := t.idx(par)
+	kids := t.children[pi]
 	i := len(kids)
 	for i > 0 && kids[i-1] > child {
 		i--
@@ -355,32 +484,35 @@ func (t *Tree) insertChild(par, child graph.NodeID) {
 	kids = append(kids, 0)
 	copy(kids[i+1:], kids[i:])
 	kids[i] = child
-	t.children[par] = kids
+	t.children[pi] = kids
 }
 
 // removeChild deletes child from par's children list, keeping order and
 // backing capacity.
 func (t *Tree) removeChild(par, child graph.NodeID) {
-	kids := t.children[par]
+	pi := t.idx(par)
+	kids := t.children[pi]
 	for i, k := range kids {
 		if k == child {
 			copy(kids[i:], kids[i+1:])
-			t.children[par] = kids[:len(kids)-1]
+			t.children[pi] = kids[:len(kids)-1]
 			return
 		}
 	}
 }
 
 // detach unlinks child from its parent and drops it from the tree without
-// pruning. The child's children list keeps its capacity for reuse.
+// pruning. The child's children list keeps its capacity (and, under sparse
+// storage, its slot) for reuse.
 func (t *Tree) detach(child graph.NodeID) {
-	par := t.parent[child]
+	i := t.idx(child)
+	par := t.parent[i]
 	if par != graph.Invalid {
 		t.removeChild(par, child)
 	}
-	t.onTree.clear(child)
-	t.parent[child] = graph.Invalid
-	t.nr[child] = 0
+	t.onTree.clear(graph.NodeID(i))
+	t.parent[i] = graph.Invalid
+	t.nr[i] = 0
 	t.nNodes--
 }
 
@@ -389,10 +521,11 @@ func (t *Tree) detach(child graph.NodeID) {
 // state is cleared hop by hop until a node with remaining downstream members
 // (or the source, or another member) is reached.
 func (t *Tree) Leave(m graph.NodeID) error {
-	if !t.members.has(m) {
+	i := t.idx(m)
+	if !t.members.has(graph.NodeID(i)) {
 		return fmt.Errorf("leave %d: %w", m, ErrNotMember)
 	}
-	t.members.clear(m)
+	t.members.clear(graph.NodeID(i))
 	t.nMembers--
 	t.bumpNR(m, -1)
 	t.pruneUpward(m)
@@ -404,9 +537,13 @@ func (t *Tree) Leave(m graph.NodeID) error {
 // (no children, not a member, not the source). Pruned nodes carry N_R = 0,
 // so removal never perturbs ancestor counts.
 func (t *Tree) pruneUpward(n graph.NodeID) {
-	for n != graph.Invalid && n != t.source && t.onTree.has(n) &&
-		len(t.children[n]) == 0 && !t.members.has(n) {
-		par := t.parent[n]
+	for n != graph.Invalid && n != t.source {
+		i := t.idx(n)
+		if !t.onTree.has(graph.NodeID(i)) || len(t.children[i]) != 0 ||
+			t.members.has(graph.NodeID(i)) {
+			return
+		}
+		par := t.parent[i]
 		t.detach(n)
 		n = par
 	}
@@ -424,7 +561,7 @@ func (t *Tree) SubtreeNodes(r graph.NodeID) ([]graph.NodeID, error) {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, n)
-		stack = append(stack, t.children[n]...)
+		stack = append(stack, t.children[t.idx(n)]...)
 	}
 	slices.Sort(out)
 	return out, nil
@@ -434,10 +571,11 @@ func (t *Tree) SubtreeNodes(r graph.NodeID) ([]graph.NodeID, error) {
 // r. The count is served from the incrementally maintained per-node cache
 // in O(1), where the map-backed tree re-walked (and re-sorted) the subtree.
 func (t *Tree) MemberCount(r graph.NodeID) (int, error) {
-	if !t.OnTree(r) {
+	i := t.idx(r)
+	if !t.onTree.has(graph.NodeID(i)) {
 		return 0, fmt.Errorf("subtree of %d: %w", r, ErrNotOnTree)
 	}
-	return int(t.nr[r]), nil
+	return int(t.nr[i]), nil
 }
 
 // MemberCounts returns N_R for every on-tree node, keyed by node ID. The
@@ -447,11 +585,11 @@ func (t *Tree) MemberCount(r graph.NodeID) (int, error) {
 func (t *Tree) MemberCounts() map[graph.NodeID]int {
 	counts := make(map[graph.NodeID]int, t.nNodes)
 	for wi, w := range t.onTree {
-		base := graph.NodeID(wi << 6)
+		base := wi << 6
 		for w != 0 {
-			n := base + graph.NodeID(trailingZeros(w))
+			i := int32(base + trailingZeros(w))
 			w &= w - 1
-			counts[n] = int(t.nr[n])
+			counts[t.nodeAt(i)] = int(t.nr[i])
 		}
 	}
 	return counts
@@ -485,7 +623,7 @@ func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
 	}
 	// The merger lies inside m's subtree exactly when m is an ancestor of
 	// it — an O(depth) root-path walk instead of materializing the subtree.
-	for cur := merger; cur != graph.Invalid; cur = t.parent[cur] {
+	for cur := merger; cur != graph.Invalid; cur = t.parent[t.idx(cur)] {
 		if cur == m {
 			return fmt.Errorf("reroute: merger %d is inside %d's subtree", merger, m)
 		}
@@ -495,11 +633,12 @@ func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
 			return fmt.Errorf("reroute through %d: %w", n, ErrAlreadyOnTree)
 		}
 	}
-	oldParent := t.parent[m]
-	sub := t.nr[m] // members moving with m's subtree
+	mi := t.idx(m)
+	oldParent := t.parent[mi]
+	sub := t.nr[mi] // members moving with m's subtree
 	if oldParent != graph.Invalid {
 		t.removeChild(oldParent, m)
-		t.parent[m] = graph.Invalid
+		t.parent[mi] = graph.Invalid
 		t.bumpNR(oldParent, -sub)
 	}
 	// Attach the new chain from the merger down to m.
@@ -512,7 +651,7 @@ func (t *Tree) Reroute(m graph.NodeID, newPath graph.Path) error {
 	}
 	// The moved members now count along the new root path (the fresh chain
 	// nodes were attached with N_R = 0 and pick up the subtree here).
-	t.bumpNR(t.parent[m], sub)
+	t.bumpNR(t.parent[t.idx(m)], sub)
 	t.pruneUpward(oldParent)
 	t.epoch++
 	return nil
@@ -530,7 +669,7 @@ func (t *Tree) RemoveSubtree(r graph.NodeID) error {
 	if r == t.source {
 		return errors.New("multicast: cannot remove the source's subtree")
 	}
-	oldParent := t.parent[r]
+	oldParent := t.parent[t.idx(r)]
 	t.dropSubtree(r)
 	t.pruneUpward(oldParent)
 	t.epoch++
@@ -557,8 +696,9 @@ func (t *Tree) DetachSubtree(r graph.NodeID) error {
 // dropSubtree unlinks r from its parent, deducts the subtree's member count
 // from the surviving root path, and clears all state below r.
 func (t *Tree) dropSubtree(r graph.NodeID) {
-	oldParent := t.parent[r]
-	sub := t.nr[r]
+	ri := t.idx(r)
+	oldParent := t.parent[ri]
+	sub := t.nr[ri]
 	if oldParent != graph.Invalid {
 		t.removeChild(oldParent, r)
 		t.bumpNR(oldParent, -sub)
@@ -567,14 +707,15 @@ func (t *Tree) dropSubtree(r graph.NodeID) {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		stack = append(stack, t.children[n]...)
-		t.children[n] = t.children[n][:0]
-		t.onTree.clear(n)
-		t.parent[n] = graph.Invalid
-		t.nr[n] = 0
+		i := t.idx(n)
+		stack = append(stack, t.children[i]...)
+		t.children[i] = t.children[i][:0]
+		t.onTree.clear(graph.NodeID(i))
+		t.parent[i] = graph.Invalid
+		t.nr[i] = 0
 		t.nNodes--
-		if t.members.has(n) {
-			t.members.clear(n)
+		if t.members.has(graph.NodeID(i)) {
+			t.members.clear(graph.NodeID(i))
 			t.nMembers--
 		}
 	}
@@ -589,11 +730,12 @@ func (t *Tree) PruneStale() []graph.NodeID {
 	for {
 		victims = victims[:0]
 		for wi, w := range t.onTree {
-			base := graph.NodeID(wi << 6)
+			base := wi << 6
 			for w != 0 {
-				n := base + graph.NodeID(trailingZeros(w))
+				i := int32(base + trailingZeros(w))
 				w &= w - 1
-				if n != t.source && len(t.children[n]) == 0 && !t.members.has(n) {
+				n := t.nodeAt(i)
+				if n != t.source && len(t.children[i]) == 0 && !t.members.has(graph.NodeID(i)) {
 					victims = append(victims, n)
 				}
 			}
@@ -612,7 +754,8 @@ func (t *Tree) PruneStale() []graph.NodeID {
 	}
 }
 
-// Clone returns a deep copy of the tree sharing the same graph.
+// Clone returns a deep copy of the tree sharing the same graph (and the same
+// storage backend).
 func (t *Tree) Clone() *Tree {
 	c := &Tree{
 		g:        t.g,
@@ -626,9 +769,13 @@ func (t *Tree) Clone() *Tree {
 		nMembers: t.nMembers,
 		epoch:    t.epoch,
 	}
-	for n, kids := range t.children {
+	if t.slotOf != nil {
+		c.slotOf = maps.Clone(t.slotOf)
+		c.nodeOf = slices.Clone(t.nodeOf)
+	}
+	for i, kids := range t.children {
 		if len(kids) > 0 {
-			c.children[n] = slices.Clone(kids)
+			c.children[i] = slices.Clone(kids)
 		}
 	}
 	return c
@@ -640,10 +787,10 @@ func (t *Tree) Clone() *Tree {
 // N_R column matches a from-scratch recount. It returns the first violation
 // found.
 func (t *Tree) Validate() error {
-	if !t.onTree.has(t.source) {
+	if !t.OnTree(t.source) {
 		return errors.New("multicast: source missing from tree")
 	}
-	if t.parent[t.source] != graph.Invalid {
+	if t.parent[t.idx(t.source)] != graph.Invalid {
 		return errors.New("multicast: source has a parent")
 	}
 	// children↔parent agreement and edge existence.
@@ -652,7 +799,7 @@ func (t *Tree) Validate() error {
 		return fmt.Errorf("multicast: node count %d does not match on-tree set %d", t.nNodes, len(nodes))
 	}
 	for _, n := range nodes {
-		p := t.parent[n]
+		p := t.parent[t.idx(n)]
 		if p == graph.Invalid {
 			if n != t.source {
 				return fmt.Errorf("multicast: node %d has no parent but is not the source", n)
@@ -662,42 +809,45 @@ func (t *Tree) Validate() error {
 		if !t.g.HasEdge(n, p) {
 			return fmt.Errorf("multicast: tree link %d-%d is not a graph edge", n, p)
 		}
-		if !t.onTree.has(p) {
+		if !t.OnTree(p) {
 			return fmt.Errorf("multicast: parent %d of %d is off the tree", p, n)
 		}
-		if !slices.Contains(t.children[p], n) {
+		if !slices.Contains(t.children[t.idx(p)], n) {
 			return fmt.Errorf("multicast: %d not recorded as child of %d", n, p)
 		}
 	}
 	for _, p := range nodes {
-		if !slices.IsSorted(t.children[p]) {
+		kids := t.children[t.idx(p)]
+		if !slices.IsSorted(kids) {
 			return fmt.Errorf("multicast: children of %d not in ascending order", p)
 		}
-		for _, k := range t.children[p] {
-			if !t.onTree.has(k) || t.parent[k] != p {
-				return fmt.Errorf("multicast: child %d of %d has parent %v", k, p, t.parent[k])
+		for _, k := range kids {
+			if !t.OnTree(k) || t.parent[t.idx(k)] != p {
+				return fmt.Errorf("multicast: child %d of %d has parent %v", k, p, t.parentOf(k))
 			}
 		}
 	}
 	// Reachability (no cycles, no orphan islands) plus a from-scratch N_R
-	// recount checked against the incremental cache.
+	// recount checked against the incremental cache. Scratch state here is
+	// NodeID-indexed (not slot-indexed) so the walk is backend-agnostic.
+	limit := t.g.NumNodes()
 	reached := 0
 	members := 0
 	stack := []graph.NodeID{t.source}
-	seen := newBitset(len(t.parent))
+	seen := newBitset(limit)
 	seen.set(t.source)
-	counts := make([]int32, len(t.parent))
+	counts := make([]int32, limit)
 	order := make([]graph.NodeID, 0, t.nNodes)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		reached++
 		order = append(order, n)
-		if t.members.has(n) {
+		if t.IsMember(n) {
 			counts[n] = 1
 			members++
 		}
-		for _, k := range t.children[n] {
+		for _, k := range t.children[t.idx(n)] {
 			if seen.has(k) {
 				return fmt.Errorf("multicast: node %d reached twice (cycle)", k)
 			}
@@ -713,10 +863,10 @@ func (t *Tree) Validate() error {
 	}
 	for i := len(order) - 1; i >= 0; i-- { // reverse pre-order = bottom-up
 		n := order[i]
-		if counts[n] != t.nr[n] {
-			return fmt.Errorf("multicast: cached N_%d = %d, recount = %d", n, t.nr[n], counts[n])
+		if counts[n] != t.nr[t.idx(n)] {
+			return fmt.Errorf("multicast: cached N_%d = %d, recount = %d", n, t.nr[t.idx(n)], counts[n])
 		}
-		if p := t.parent[n]; p != graph.Invalid {
+		if p := t.parent[t.idx(n)]; p != graph.Invalid {
 			counts[p] += counts[n]
 		}
 	}

@@ -108,6 +108,13 @@ type Actor struct {
 	handled atomic.Uint64 // commands processed (metrics)
 	members atomic.Int64  // published member count (list/metrics gauges)
 	parked  atomic.Int64  // published parked-member count (list/metrics gauges)
+
+	// standing is the session's deterministic standing-state byte
+	// accounting (core.Session.MemoryFootprint), published after every
+	// handled command so /metrics can report per-fleet standing bytes —
+	// the server-side view of the sparse-vs-dense storage tradeoff —
+	// without a mailbox round trip.
+	standing atomic.Int64
 }
 
 // newActor wraps sess in an actor and starts its goroutine.
@@ -132,6 +139,7 @@ func buildActor(id string, sess *core.Session, mailboxCap int) *Actor {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	a.standing.Store(sess.MemoryFootprint())
 	var once atomic.Bool
 	a.stopOnce = func() {
 		if once.CompareAndSwap(false, true) {
@@ -174,6 +182,12 @@ func (a *Actor) Members() int { return int(a.members.Load()) }
 // Parked reports the parked-member count as of the last handled command
 // (same publication discipline as Members).
 func (a *Actor) Parked() int { return int(a.parked.Load()) }
+
+// StandingBytes reports the session's deterministic standing-state byte
+// accounting as of the last handled command (same publication discipline as
+// Members). Sparse-storage sessions report O(|tree|+|members|) bytes; dense
+// ones report O(topology).
+func (a *Actor) StandingBytes() int64 { return a.standing.Load() }
 
 // submit enqueues c and waits for its reply. It returns ErrSessionClosed if
 // the actor is (or becomes) closed before the command is handled, and the
@@ -303,6 +317,7 @@ func (a *Actor) handleJoins(batch []*command) {
 	}
 	a.members.Store(int64(a.sess.Tree().NumMembers()))
 	a.parked.Store(int64(a.sess.NumParked()))
+	a.standing.Store(a.sess.MemoryFootprint())
 }
 
 // emit assigns the next sequence number and publishes ev to the hub.
@@ -342,7 +357,7 @@ func (a *Actor) handle(c *command) {
 		}
 	case cmdFail:
 		if !c.recover {
-			// Mirror HealSet's pre-validation: a batch naming the source
+			// Mirror Recover's pre-validation: a batch naming the source
 			// would leave the session permanently degraded with nothing to
 			// repair it, so reject it without touching the mask.
 			if failure.TakesDownNode(c.failures, a.sess.Tree().Source()) {
@@ -354,7 +369,7 @@ func (a *Actor) handle(c *command) {
 			a.emit(Event{Kind: EventFail, Detail: marshalDetail(failuresWire(c.failures))})
 			break
 		}
-		rep, err := a.sess.HealSet(c.failures)
+		rep, err := a.sess.Recover(c.failures...)
 		res = cmdResult{val: rep, err: err}
 		if err == nil {
 			a.emit(Event{Kind: EventFail, Detail: marshalDetail(healWire(rep))})
@@ -397,6 +412,7 @@ func (a *Actor) handle(c *command) {
 	// without a mailbox round trip.
 	a.members.Store(int64(a.sess.Tree().NumMembers()))
 	a.parked.Store(int64(a.sess.NumParked()))
+	a.standing.Store(a.sess.MemoryFootprint())
 	c.reply <- res // buffered: never blocks the actor
 }
 
@@ -417,7 +433,7 @@ func (a *Actor) Leave(ctx context.Context, n graph.NodeID) error {
 }
 
 // Fail applies fs to the session. With recover set the failures are healed
-// via SMRP local detours (core.HealSet) and the report is returned; without
+// via SMRP local detours (core.Session.Recover) and the report is returned; without
 // it the failures only accumulate in the session mask (core.ApplyFailure)
 // and the report is nil.
 func (a *Actor) Fail(ctx context.Context, fs []failure.Failure, recover bool) (*core.HealReport, error) {

@@ -323,6 +323,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	actors := s.reg.List()
 	var handled, events uint64
 	var depth, subs, members, parked int
+	var standing int64
 	for _, a := range actors {
 		handled += a.Handled()
 		events += a.EventSeq()
@@ -330,6 +331,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		subs += a.Subscribers()
 		members += a.Members()
 		parked += a.Parked()
+		standing += a.StandingBytes()
 	}
 	draining := 0
 	if s.draining.Load() {
@@ -343,6 +345,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "smrp_event_subscribers %d\n", subs)
 	fmt.Fprintf(w, "smrp_members %d\n", members)
 	fmt.Fprintf(w, "smrp_parked %d\n", parked)
+	fmt.Fprintf(w, "smrp_session_standing_bytes %d\n", standing)
 	fmt.Fprintf(w, "smrp_joins_total %d\n", joinsTotal.Load())
 	// How large the actor mailbox's coalesced join batches actually get: one
 	// observation per dispatch window (all-ones under light load; the mass

@@ -246,6 +246,12 @@ func TestHealthAndMetrics(t *testing.T) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
 		}
 	}
+	// The standing-bytes gauge is a fleet sum of deterministic per-session
+	// byte accounting; with one live session it must be present and nonzero.
+	if strings.Contains(body, "smrp_session_standing_bytes 0\n") ||
+		!strings.Contains(body, "smrp_session_standing_bytes ") {
+		t.Errorf("metrics standing-bytes gauge missing or zero in:\n%s", body)
+	}
 
 	srv.Drain()
 	if code := doJSON(t, c, http.MethodGet, ts.URL+"/healthz", nil, &hz); code != http.StatusServiceUnavailable || hz.Status != "draining" {

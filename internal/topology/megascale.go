@@ -198,6 +198,11 @@ func GenerateMegascale(cfg MegascaleConfig, seed uint64) (*NLevelTopology, error
 			}
 		}
 	}
+	// The composed hierarchy is immutable from here on (sessions mutate trees
+	// and masks, never the topology), so freeze into the CSR-first
+	// representation: the per-edge weights map collapses into the sorted
+	// flat pair and the steady-state footprint halves.
+	g.Freeze()
 	return t, nil
 }
 
@@ -221,5 +226,12 @@ func FlatMegascale(n int, seed uint64) (*graph.Graph, GridStats, error) {
 		L:               math.Sqrt2,
 		EnsureConnected: true,
 	}
-	return GridWaxmanWithStats(cfg, NewRNG(seed))
+	g, st, err := GridWaxmanWithStats(cfg, NewRNG(seed))
+	if err != nil {
+		return nil, st, err
+	}
+	// Megascale graphs are never mutated after generation; freeze into the
+	// sorted-pair edge representation so the flat arm's standing graph bytes
+	// reflect the CSR steady state the study reports.
+	return g.Freeze(), st, nil
 }

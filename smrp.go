@@ -12,7 +12,7 @@
 //	sess, _ := smrp.NewSession(net, 0, smrp.DefaultConfig())
 //	sess.Join(17)
 //	sess.Join(33)
-//	rep, _ := sess.Heal(smrp.LinkDown(0, 5)) // recover from a cut
+//	rep, _ := sess.Recover(smrp.LinkDown(0, 5)) // recover from a cut
 //	fmt.Println(rep.TotalRecoveryDistance())
 //
 // The package re-exports the library's building blocks through type
@@ -117,6 +117,10 @@ type (
 	Knowledge = core.Knowledge
 	// SHRMode selects eager or deferred SHR maintenance.
 	SHRMode = core.SHRMode
+	// TreeStorage selects the session's tree-state backend: dense
+	// NodeID-indexed arrays (O(topology) standing bytes) or the sparse
+	// touched-node remap (O(|tree| + |members|)).
+	TreeStorage = core.TreeStorage
 )
 
 // Re-exported enum values.
@@ -125,7 +129,17 @@ const (
 	QueryScheme  = core.QueryScheme
 	EagerSHR     = core.EagerSHR
 	DeferredSHR  = core.DeferredSHR
+	// Tree-storage modes for Config.TreeStorage: StorageAuto (the zero
+	// value) keeps dense arrays below SparseNodeThreshold graph nodes and
+	// cuts over to sparse above it.
+	StorageAuto   = core.StorageAuto
+	StorageDense  = core.StorageDense
+	StorageSparse = core.StorageSparse
 )
+
+// SparseNodeThreshold is the StorageAuto cutover: sessions on topologies
+// with at least this many nodes default to sparse tree storage.
+const SparseNodeThreshold = core.SparseNodeThreshold
 
 // DefaultConfig returns the paper's evaluation configuration
 // (D_thresh = 0.3, Condition I+II reshaping, full topology, eager SHR).

@@ -28,7 +28,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sess.Heal(f)
+	rep, err := sess.Recover(f)
 	if err != nil {
 		t.Fatal(err)
 	}
